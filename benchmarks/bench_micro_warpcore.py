@@ -1,0 +1,79 @@
+"""Micro-benchmarks: hash table insert/retrieve throughput.
+
+Database build performance "is predominantly governed by the
+throughput of the underlying hash table implementation" (Section 3),
+so the table's batch operations get their own benchmark rows.  These
+use pytest-benchmark's statistics properly (multiple rounds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.warpcore import MultiBucketHashTable, MultiValueHashTable, SingleValueHashTable
+
+N = 200_000
+KEY_SPACE = 60_000  # multiplicity ~3.3, RefSeq-like
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = np.random.default_rng(42)
+    keys = rng.integers(0, KEY_SPACE, N).astype(np.uint64)
+    vals = rng.integers(0, 2**62, N, dtype=np.uint64)
+    return keys, vals
+
+
+def test_multibucket_insert_throughput(benchmark, pairs):
+    keys, vals = pairs
+
+    def run():
+        t = MultiBucketHashTable(
+            capacity_values=N, bucket_size=4, expected_unique_keys=KEY_SPACE
+        )
+        t.insert(keys, vals)
+        return t
+
+    table = benchmark(run)
+    assert table.stored_values == N
+    benchmark.extra_info["inserts_per_second"] = N / benchmark.stats["mean"]
+
+
+def test_multivalue_insert_throughput(benchmark, pairs):
+    keys, vals = pairs
+
+    def run():
+        t = MultiValueHashTable(capacity_values=N)
+        t.insert(keys, vals)
+        return t
+
+    table = benchmark(run)
+    assert table.stored_values == N
+
+
+def test_multibucket_retrieve_throughput(benchmark, pairs):
+    keys, vals = pairs
+    table = MultiBucketHashTable(
+        capacity_values=N, bucket_size=4, expected_unique_keys=KEY_SPACE
+    )
+    table.insert(keys, vals)
+    queries = np.unique(keys)
+
+    def run():
+        return table.retrieve(queries)
+
+    out, offsets = benchmark(run)
+    assert int(offsets[-1]) == N
+
+
+def test_singlevalue_lookup_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    keys = rng.permutation(4 * N)[:N].astype(np.uint64)
+    vals = rng.integers(0, 2**62, N, dtype=np.uint64)
+    table = SingleValueHashTable(capacity_keys=N)
+    table.insert(keys, vals)
+
+    def run():
+        return table.retrieve(keys)
+
+    got, found = benchmark(run)
+    assert found.all()

@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Every bench renders its paper-style table/figure as text; the
+``report`` fixture records it.  Rendered artifacts are written to
+``benchmarks/out/`` and echoed into the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the actual tables, not just pytest-benchmark's timing rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_OUT_DIR = Path(__file__).parent / "out"
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture()
+def report(request):
+    """Callable recording a rendered table under the test's name."""
+
+    def _record(text: str, name: str | None = None) -> None:
+        key = name or request.node.name
+        _OUT_DIR.mkdir(exist_ok=True)
+        (_OUT_DIR / f"{key}.txt").write_text(text)
+        _REPORTS.append((key, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables & figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

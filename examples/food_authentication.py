@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Food authentication: the All-Food-Seq / KAL_D scenario (Section 6.5).
+
+The paper's motivating application for on-demand databases: verify the
+declared composition of a food product by sequencing it and estimating
+which species' DNA it contains at which fraction.  The KAL_D dataset
+is a sausage made from beef, mutton, pork and horsemeat -- the horse
+being the kind of surprise this analysis exists to catch.
+
+This example:
+
+1. simulates four "meat" genomes (large, scaffold-level drafts, like
+   real livestock assemblies) plus a bacterial background collection;
+2. builds the combined database on the fly (no disk round trip);
+3. simulates paired-end reads from a sausage with a hidden 10% horse
+   content;
+4. estimates per-species abundances and compares to the recipe.
+
+Run:  python examples/food_authentication.py
+"""
+
+
+from repro.core import MetaCacheParams, build_and_query
+from repro.core.abundance import abundance_deviation, estimate_abundances
+from repro.genomics import GenomeSimulator, MockCommunity
+from repro.genomics.community import CommunityMember
+from repro.genomics.reads import KAL_D
+from repro.taxonomy import Rank, build_taxonomy_for_genomes
+
+DECLARED = {"cow": 0.55, "sheep": 0.30, "pig": 0.15}  # label on the package
+ACTUAL = {"cow": 0.50, "sheep": 0.25, "pig": 0.15, "horse": 0.10}  # reality
+
+
+def main() -> None:
+    print("building reference collection (meats + bacterial background) ...")
+    sim = GenomeSimulator(seed=5)
+    genomes = list(
+        sim.simulate_collection(n_genera=6, species_per_genus=2, genome_length=20_000)
+    )
+    n_bact = len(genomes)
+    meats = {}
+    for i, meat in enumerate(ACTUAL):
+        g = sim.simulate_scaffolded_genome(
+            total_length=150_000,
+            n_scaffolds=25,
+            name=f"meat {meat}",
+            accession=f"MEAT_{meat.upper()}",
+            genus=100 + i,
+            species=100 + i,
+        )
+        meats[meat] = len(genomes)
+        genomes.append(g)
+    taxonomy, taxa = build_taxonomy_for_genomes(genomes)
+
+    print("simulating the sausage sequencing run (paired-end, 101 bp) ...")
+    community = MockCommunity(
+        genomes,
+        members=[CommunityMember(meats[m], frac) for m, frac in ACTUAL.items()],
+        seed=11,
+        strain_divergence=0.004,
+    )
+    reads = community.simulate_reads(KAL_D, 2500)
+
+    print("building the database on the fly and classifying ...")
+    references = []
+    for i, g in enumerate(genomes):
+        for s, scaffold in enumerate(g.scaffolds):
+            references.append((f"{g.name}.{s}", scaffold, taxa.target_taxon[i]))
+    run = build_and_query(
+        references,
+        taxonomy,
+        reads.sequences,
+        mates=reads.mates,
+        params=MetaCacheParams(),
+        n_partitions=2,
+    )
+    print(
+        f"  time-to-query {run.time_to_query:.2f} s, classified "
+        f"{run.classification.n_classified}/{len(reads)} read pairs"
+    )
+
+    estimated = estimate_abundances(taxonomy, run.classification, Rank.SPECIES)
+    species_name = {taxa.species_taxon[idx]: m for m, idx in meats.items()}
+
+    print("\ncomposition estimate vs declaration:")
+    print(f"  {'species':8} {'declared':>9} {'actual':>9} {'estimated':>10}")
+    for meat in ACTUAL:
+        est = sum(
+            frac for t, frac in estimated.items() if species_name.get(t) == meat
+        )
+        declared = DECLARED.get(meat, 0.0)
+        flag = "  <-- NOT ON LABEL" if declared == 0.0 and est > 0.02 else ""
+        print(
+            f"  {meat:8} {declared:9.1%} {ACTUAL[meat]:9.1%} {est:10.1%}{flag}"
+        )
+
+    truth = {taxa.species_taxon[meats[m]]: f for m, f in ACTUAL.items()}
+    deviation, false_pos = abundance_deviation(estimated, truth)
+    print(
+        f"\naccumulated deviation {deviation:.1%}, false positives {false_pos:.1%}"
+        f" (paper, GPU version at full scale: 6.5% / 2.5%)"
+    )
+    horse_taxon = taxa.species_taxon[meats["horse"]]
+    horse_est = estimated.get(horse_taxon, 0.0)
+    if horse_est > 0.02:
+        print(f"undeclared horsemeat detected at {horse_est:.1%} -- recall the batch!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: build a database, classify reads, inspect the results.
+
+This is the 60-second tour of the public API:
+
+1. simulate a small reference genome collection (stand-in for
+   downloading RefSeq genomes);
+2. build the taxonomy and the minhash k-mer database;
+3. simulate a sequencing run and classify the reads;
+4. print per-read assignments and summary accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    Database,
+    MetaCacheParams,
+    classify_reads,
+    evaluate_accuracy,
+    query_database,
+)
+from repro.genomics import GenomeSimulator, ReadSimulator
+from repro.genomics.reads import HISEQ
+from repro.taxonomy import build_taxonomy_for_genomes
+
+
+def main() -> None:
+    # -- 1. reference genomes: 8 genera x 2 species ------------------------
+    print("simulating reference genomes ...")
+    genomes = GenomeSimulator(seed=42).simulate_collection(
+        n_genera=8, species_per_genus=2, genome_length=30_000
+    )
+    taxonomy, taxa = build_taxonomy_for_genomes(genomes)
+    print(f"  {len(genomes)} genomes, taxonomy with {len(taxonomy)} nodes")
+
+    # -- 2. build the database (paper parameters: k=16, s=16, w=127) -------
+    references = [
+        (g.name, g.scaffolds[0], taxa.target_taxon[i]) for i, g in enumerate(genomes)
+    ]
+    params = MetaCacheParams()
+    db = Database.build(references, taxonomy, params=params, n_partitions=2)
+    print(
+        f"  database: {db.n_targets} targets, {db.total_windows:,} windows, "
+        f"{db.nbytes / 1e6:.1f} MB in {db.n_partitions} partitions"
+    )
+
+    # -- 3. sequence a mock sample and classify ----------------------------
+    print("simulating a HiSeq-like sequencing run ...")
+    reads = ReadSimulator(genomes, seed=7).simulate(HISEQ, 1000)
+    result = query_database(db, reads.sequences)
+    classification = classify_reads(db, result.candidates)
+    print(f"  classified {classification.n_classified} / {len(reads)} reads")
+
+    # -- 4. inspect results -------------------------------------------------
+    print("\nfirst five reads:")
+    for i in range(5):
+        taxon = int(classification.taxon[i])
+        if taxon == 0:
+            print(f"  read {i}: unclassified")
+            continue
+        name = db.taxonomy.name_of(taxon)
+        target = int(classification.best_target[i])
+        w0 = int(classification.best_window_first[i])
+        w1 = int(classification.best_window_last[i])
+        print(
+            f"  read {i}: {name!r} (score {classification.top_score[i]}, "
+            f"mapped to target {target} windows [{w0},{w1}])"
+        )
+
+    true_species = np.array([taxa.species_taxon[t] for t in reads.true_target])
+    true_genus = np.array([taxa.genus_taxon[t] for t in reads.true_target])
+    report = evaluate_accuracy(taxonomy, classification, true_species, true_genus)
+    print("\naccuracy vs simulation ground truth:")
+    print(
+        f"  species: precision {report.species.precision:6.1%}  "
+        f"sensitivity {report.species.sensitivity:6.1%}"
+    )
+    print(
+        f"  genus:   precision {report.genus.precision:6.1%}  "
+        f"sensitivity {report.genus.sensitivity:6.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

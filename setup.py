@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox has no `wheel` package and no network, so pip's PEP-660
+editable install (which builds a wheel) cannot run.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` code path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

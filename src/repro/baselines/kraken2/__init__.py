@@ -1,0 +1,12 @@
+"""Kraken2-style baseline classifier."""
+
+from repro.baselines.kraken2.minimizer import extract_minimizers
+from repro.baselines.kraken2.table import MinimizerLcaTable
+from repro.baselines.kraken2.classifier import Kraken2Classifier, Kraken2Params
+
+__all__ = [
+    "extract_minimizers",
+    "MinimizerLcaTable",
+    "Kraken2Classifier",
+    "Kraken2Params",
+]

@@ -1,0 +1,67 @@
+"""ASCII table/figure rendering for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_bars", "format_seconds", "format_bytes"]
+
+
+def format_seconds(t: float) -> str:
+    """Human-friendly duration like the paper's mixed units."""
+    if t != t:  # NaN
+        return "-"
+    if t < 0.0005:
+        return f"{t * 1e6:.0f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    if t < 120.0:
+        return f"{t:.1f} s"
+    if t < 2 * 3600:
+        return f"{t / 60:.0f} min"
+    return f"{t / 3600:.1f} h"
+
+
+def format_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TB"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table with a title rule, right-aligned numerics."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(row):
+            parts.append(c.ljust(widths[i]) if i == 0 else c.rjust(widths[i]))
+        return "  ".join(parts)
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, "=" * len(title), fmt_row(headers), sep]
+    lines += [fmt_row(r) for r in cells]
+    return "\n".join(lines) + "\n"
+
+
+def render_bars(
+    title: str, entries: Sequence[tuple[str, float]], width: int = 46, unit: str = "s"
+) -> str:
+    """Horizontal bar chart (the Fig. 4/5 ASCII analogue)."""
+    if not entries:
+        return f"{title}\n(no data)\n"
+    peak = max(v for _, v in entries) or 1.0
+    label_w = max(len(n) for n, _ in entries)
+    lines = [title, "=" * len(title)]
+    for name, value in entries:
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{name.ljust(label_w)} | {bar} {value:.3g} {unit}")
+    return "\n".join(lines) + "\n"

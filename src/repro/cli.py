@@ -1,0 +1,227 @@
+"""Command line interface mirroring the MetaCache binary's modes.
+
+Subcommands:
+
+- ``build``  -- reference FASTA files + NCBI taxonomy dumps +
+  accession->taxid mapping -> saved database (Section 4.1).
+- ``query``  -- saved database + read files (FASTA/FASTQ, optionally
+  paired) -> per-read classification TSV, optional abundance table
+  (Section 4.2).
+- ``info``   -- database summary (targets, windows, sizes).
+- ``merge``  -- combine per-partition candidate runs (Section 4.3).
+
+Every subcommand is a plain function taking parsed arguments, so the
+test suite drives them in-process via :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.build import build_from_fasta
+from repro.core.classify import classify_reads
+from repro.core.config import ClassificationParams, MetaCacheParams
+from repro.core.io import load_database, save_database
+from repro.core.merge import merge_partition_runs, save_candidates
+from repro.core.query import query_database
+from repro.core.abundance import estimate_abundances
+from repro.genomics.alphabet import encode_sequence
+from repro.genomics.fasta import read_fasta
+from repro.genomics.fastq import read_fastq
+from repro.hashing.sketch import SketchParams
+from repro.taxonomy.ncbi import load_ncbi_dump
+from repro.taxonomy.ranks import Rank
+
+__all__ = ["main"]
+
+
+def _load_mapping(path: Path) -> dict[str, int]:
+    """Parse an accession2taxid-style TSV (accession <tab> taxid)."""
+    mapping: dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'accession\\ttaxid'")
+            mapping[parts[0]] = int(parts[1])
+    return mapping
+
+
+def _read_sequences(path: Path) -> tuple[list[str], list[np.ndarray]]:
+    """Load a FASTA or FASTQ file (sniffed from the first character)."""
+    with open(path, "r", encoding="ascii") as fh:
+        first = fh.read(1)
+    headers: list[str] = []
+    seqs: list[np.ndarray] = []
+    if first == ">":
+        for rec in read_fasta(path):
+            headers.append(rec.header)
+            seqs.append(encode_sequence(rec.sequence))
+    elif first == "@":
+        for rec in read_fastq(path):
+            headers.append(rec.header)
+            seqs.append(encode_sequence(rec.sequence))
+    elif first == "":
+        pass  # empty file: zero reads
+    else:
+        raise ValueError(f"{path}: neither FASTA nor FASTQ (starts with {first!r})")
+    return headers, seqs
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    taxonomy = load_ncbi_dump(
+        Path(args.taxonomy) / "nodes.dmp", Path(args.taxonomy) / "names.dmp"
+    )
+    mapping = _load_mapping(Path(args.mapping))
+    params = MetaCacheParams(
+        sketch=SketchParams(
+            k=args.kmer_length, sketch_size=args.sketch_size,
+            window_size=args.window_size,
+        ),
+        max_locations_per_feature=args.max_locations,
+    )
+    db = build_from_fasta(
+        args.refs, taxonomy, mapping, params=params, n_partitions=args.partitions
+    )
+    files = save_database(db, args.out)
+    print(
+        f"built {db.n_targets} targets ({db.total_windows:,} windows) into "
+        f"{db.n_partitions} partition(s); wrote {len(files)} files to {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    headers, seqs = _read_sequences(Path(args.reads))
+    mates = None
+    if args.mates:
+        _, mates = _read_sequences(Path(args.mates))
+        if len(mates) != len(seqs):
+            raise ValueError(
+                f"mate file has {len(mates)} reads, expected {len(seqs)}"
+            )
+    classification_params = ClassificationParams(
+        max_candidates=db.params.classification.max_candidates,
+        min_hits=args.min_hits,
+        lca_trigger_fraction=db.params.classification.lca_trigger_fraction,
+    )
+    result = query_database(db, seqs, mates=mates)
+    cls = classify_reads(db, result.candidates, classification_params)
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        out.write("read\ttaxon_id\ttaxon_name\trank\tscore\ttarget\twindow_range\n")
+        for i, header in enumerate(headers):
+            taxon = int(cls.taxon[i])
+            if taxon == 0:
+                out.write(f"{header}\t0\tunclassified\t-\t0\t-\t-\n")
+                continue
+            rank = db.lineages.rank_resolved(taxon).name.lower()
+            out.write(
+                f"{header}\t{taxon}\t{db.taxonomy.name_of(taxon)}\t{rank}\t"
+                f"{int(cls.top_score[i])}\t{int(cls.best_target[i])}\t"
+                f"[{int(cls.best_window_first[i])},"
+                f"{int(cls.best_window_last[i])}]\n"
+            )
+    finally:
+        if args.out:
+            out.close()
+    print(
+        f"classified {cls.n_classified}/{len(seqs)} reads",
+        file=sys.stderr,
+    )
+    if args.abundance:
+        rank = Rank.from_name(args.abundance)
+        abundances = estimate_abundances(db.taxonomy, cls, rank)
+        print(f"abundance estimate at rank {rank.name.lower()}:", file=sys.stderr)
+        for taxon, frac in sorted(abundances.items(), key=lambda kv: -kv[1]):
+            print(
+                f"  {db.taxonomy.name_of(taxon)}\t{frac:.2%}", file=sys.stderr
+            )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    p = db.params
+    print(f"database: {args.db}")
+    print(
+        f"  parameters: k={p.sketch.k} s={p.sketch.sketch_size} "
+        f"w={p.sketch.window_size} (stride {p.window_stride}), "
+        f"max locations {p.max_locations_per_feature}"
+    )
+    print(f"  taxonomy: {len(db.taxonomy)} nodes")
+    print(f"  targets: {db.n_targets} ({db.total_windows:,} windows)")
+    print(f"  partitions: {db.n_partitions}, index bytes {db.nbytes:,}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    merged = merge_partition_runs(args.runs, m=args.top)
+    save_candidates(merged, args.out)
+    n_valid = int(merged.valid[:, 0].sum())
+    print(
+        f"merged {len(args.runs)} runs covering {merged.n_reads} reads "
+        f"({n_valid} with candidates) -> {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="metacache-repro",
+        description="MetaCache-GPU reproduction: minhash metagenomic classifier",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("build", help="build a database from reference FASTA files")
+    b.add_argument("refs", nargs="+", help="reference FASTA file(s)")
+    b.add_argument("--taxonomy", required=True,
+                   help="directory containing nodes.dmp and names.dmp")
+    b.add_argument("--mapping", required=True,
+                   help="TSV mapping accession -> taxid")
+    b.add_argument("--out", required=True, help="output database directory")
+    b.add_argument("--partitions", type=int, default=1)
+    b.add_argument("--kmer-length", type=int, default=16)
+    b.add_argument("--sketch-size", type=int, default=16)
+    b.add_argument("--window-size", type=int, default=127)
+    b.add_argument("--max-locations", type=int, default=254)
+    b.set_defaults(func=_cmd_build)
+
+    q = sub.add_parser("query", help="classify reads against a database")
+    q.add_argument("--db", required=True, help="database directory")
+    q.add_argument("--reads", required=True, help="FASTA/FASTQ read file")
+    q.add_argument("--mates", help="optional mate file for paired-end reads")
+    q.add_argument("--out", help="output TSV (default stdout)")
+    q.add_argument("--min-hits", type=int, default=5)
+    q.add_argument("--abundance", help="also print abundances at this rank")
+    q.set_defaults(func=_cmd_query)
+
+    i = sub.add_parser("info", help="print database summary")
+    i.add_argument("--db", required=True)
+    i.set_defaults(func=_cmd_info)
+
+    m = sub.add_parser("merge", help="merge per-partition candidate runs")
+    m.add_argument("runs", nargs="+", help="candidate NPZ files")
+    m.add_argument("--out", required=True)
+    m.add_argument("--top", type=int, default=None)
+    m.set_defaults(func=_cmd_merge)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Abundance estimation (the KAL_D food-matrix experiment, Section 6.5).
+
+MetaCache's abundance estimator aggregates classified reads per taxon
+at a chosen rank and normalizes.  The paper scores it against the
+known meat ratios of the KAL_D sausage sample with two metrics:
+
+- **accumulated deviation**: sum over true taxa of the absolute
+  difference between estimated and true fractions (paper: 6.5% GPU,
+  16.0% CPU, 21.4% Kraken2);
+- **false positives**: estimated mass assigned to taxa not in the
+  sample at all (paper: 2.5% / 2.0% / 7.5%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classify import UNCLASSIFIED, Classification
+from repro.taxonomy.lineage import RankedLineages
+from repro.taxonomy.ranks import Rank
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["estimate_abundances", "abundance_deviation"]
+
+
+def estimate_abundances(
+    taxonomy: Taxonomy,
+    classification: Classification,
+    rank: Rank = Rank.SPECIES,
+) -> dict[int, float]:
+    """Relative abundance per taxon at ``rank`` from classified reads.
+
+    Reads that do not resolve to ``rank`` (unclassified, or assigned
+    to a coarser LCA) are excluded from the denominator, matching
+    MetaCache's estimator.  Returns taxon id -> fraction (sums to 1
+    unless nothing resolved).
+    """
+    lineages = RankedLineages(taxonomy)
+    predicted = classification.taxon
+    classified = predicted != UNCLASSIFIED
+    if not classified.any():
+        return {}
+    dense = np.array(
+        [taxonomy.index_of(int(t)) for t in predicted[classified]], dtype=np.int64
+    )
+    at_rank = lineages.ancestors_at_rank(dense, rank)
+    at_rank = at_rank[at_rank != RankedLineages.NO_TAXON]
+    if at_rank.size == 0:
+        return {}
+    taxa, counts = np.unique(at_rank, return_counts=True)
+    total = counts.sum()
+    return {int(t): float(c) / float(total) for t, c in zip(taxa, counts)}
+
+
+def abundance_deviation(
+    estimated: dict[int, float], truth: dict[int, float]
+) -> tuple[float, float]:
+    """(accumulated deviation over true taxa, false-positive mass).
+
+    Both in [0, ~2] fraction units; multiply by 100 for the paper's
+    percentage presentation.
+    """
+    deviation = sum(
+        abs(estimated.get(taxon, 0.0) - frac) for taxon, frac in truth.items()
+    )
+    false_positive = sum(
+        frac for taxon, frac in estimated.items() if taxon not in truth
+    )
+    return deviation, false_positive

@@ -1,0 +1,196 @@
+"""Top-candidate generation: window-count statistic + sliding window.
+
+Steps (7) and (8) of the query pipeline (Sections 4.2 / 5.6): after
+the per-read location lists are sorted, identical locations are
+accumulated into a sparse histogram of hits per reference window (the
+*window count statistic*), a sliding window of ``sws`` consecutive
+reference windows aggregates counts into contiguous-region scores,
+and the best region per target competes for the read's top-``m``
+candidate list.
+
+Everything here is batch-vectorized over *all* reads at once:
+
+- run-length encoding collapses identical (read, location) pairs;
+- the per-(read, target) runs are made globally monotonic by offsetting
+  window ids with run_id * OFFSET, so one ``np.searchsorted`` finds
+  every sliding-window span end simultaneously;
+- per-run maxima and per-read top-m selection use the segmented
+  primitives from :mod:`repro.util.segmented`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.bitops import unpack_pairs
+from repro.util.scan import exclusive_prefix_sum
+from repro.util.segmented import (
+    first_occurrence_mask,
+    segment_ids_from_offsets,
+    segmented_top_k_mask,
+)
+
+__all__ = ["Candidates", "generate_top_candidates"]
+
+
+@dataclass
+class Candidates:
+    """Top-m candidates for a batch of reads (padded arrays).
+
+    All arrays have shape ``(n_reads, m)``; entries beyond a read's
+    candidate count are masked False in ``valid`` (targets/scores 0).
+    Candidates are ordered by descending score within each read.
+    """
+
+    target: np.ndarray  # uint32 target ids
+    window_first: np.ndarray  # uint32: start of the best window range
+    window_last: np.ndarray  # uint32: end (inclusive) of the range
+    score: np.ndarray  # int64 aggregated hit counts
+    valid: np.ndarray  # bool
+
+    @property
+    def n_reads(self) -> int:
+        return self.target.shape[0]
+
+    @property
+    def m(self) -> int:
+        return self.target.shape[1]
+
+    def merged_with(self, other: "Candidates") -> "Candidates":
+        """Merge two candidate sets read-wise, keeping the top-m.
+
+        Used for multi-GPU queries: each device produces local top
+        hits which are merged pairwise along the device ring (Fig. 2).
+        Targets are unique per device (a reference is never split
+        across GPUs) so merging never has to combine scores.
+        """
+        if self.n_reads != other.n_reads:
+            raise ValueError("candidate sets cover different read counts")
+        m = max(self.m, other.m)
+        tgt = np.concatenate([self.target, other.target], axis=1)
+        wf = np.concatenate([self.window_first, other.window_first], axis=1)
+        wl = np.concatenate([self.window_last, other.window_last], axis=1)
+        sc = np.concatenate([self.score, other.score], axis=1)
+        va = np.concatenate([self.valid, other.valid], axis=1)
+        # order each row by (-valid, -score) and keep first m
+        order = np.lexsort((-sc, ~va), axis=1)
+        rows = np.arange(tgt.shape[0])[:, None]
+        take = order[:, :m]
+        return Candidates(
+            target=tgt[rows, take],
+            window_first=wf[rows, take],
+            window_last=wl[rows, take],
+            score=sc[rows, take],
+            valid=va[rows, take],
+        )
+
+
+def generate_top_candidates(
+    locations: np.ndarray,
+    read_offsets: np.ndarray,
+    sws: np.ndarray | int,
+    m: int,
+) -> Candidates:
+    """Compute top-m candidates per read from *sorted* location lists.
+
+    Parameters
+    ----------
+    locations:
+        uint64 packed (target, window) pairs; each read's segment must
+        be sorted ascending (the segmented-sort stage guarantees it).
+    read_offsets:
+        length ``n_reads + 1`` offsets into ``locations``.
+    sws:
+        sliding-window size per read (or one int for all): the number
+        of consecutive reference windows a candidate region may span.
+    m:
+        top-list length.
+    """
+    read_offsets = np.asarray(read_offsets, dtype=np.int64)
+    n_reads = read_offsets.size - 1
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    out = Candidates(
+        target=np.zeros((n_reads, m), dtype=np.uint32),
+        window_first=np.zeros((n_reads, m), dtype=np.uint32),
+        window_last=np.zeros((n_reads, m), dtype=np.uint32),
+        score=np.zeros((n_reads, m), dtype=np.int64),
+        valid=np.zeros((n_reads, m), dtype=bool),
+    )
+    locations = np.asarray(locations, dtype=np.uint64)
+    if locations.size == 0 or n_reads == 0:
+        return out
+    read_ids = segment_ids_from_offsets(read_offsets)
+    sws_arr = np.broadcast_to(np.asarray(sws, dtype=np.int64), (n_reads,))
+
+    # -- window count statistic: collapse runs of equal (read, location).
+    # Within a read the list is sorted and reads are contiguous, so
+    # adjacent-equality on both arrays is exactly per-read RLE.
+    same = np.zeros(locations.size, dtype=bool)
+    same[1:] = (locations[1:] == locations[:-1]) & (read_ids[1:] == read_ids[:-1])
+    starts = np.flatnonzero(~same)
+    u_loc = locations[starts]
+    u_read = read_ids[starts]
+    u_count = np.diff(np.append(starts, locations.size)).astype(np.int64)
+
+    u_target, u_window = unpack_pairs(u_loc)
+    u_target = u_target.astype(np.int64)
+    u_window = u_window.astype(np.int64)
+
+    # -- runs of equal (read, target)
+    run_head = np.zeros(u_loc.size, dtype=bool)
+    run_head[0] = True
+    run_head[1:] = (u_read[1:] != u_read[:-1]) | (u_target[1:] != u_target[:-1])
+    run_id = np.cumsum(run_head) - 1
+
+    # -- monotonic window axis across runs -> one global searchsorted
+    # OFFSET must exceed any window id + sws so run blocks never overlap.
+    max_win = int(u_window.max()) if u_window.size else 0
+    max_sws = int(sws_arr.max()) if sws_arr.size else 1
+    offset = np.int64(max_win + max_sws + 2)
+    w_mono = u_window + run_id * offset
+    span_limit = w_mono + sws_arr[u_read]
+    # end index (exclusive) of each sliding-window span
+    span_end = np.searchsorted(w_mono, span_limit, side="left")
+
+    csum = exclusive_prefix_sum(u_count)
+    idx = np.arange(u_loc.size, dtype=np.int64)
+    scores = csum[span_end] - csum[idx]
+
+    # -- best candidate per (read, target) run
+    # order within runs by (-score, index): first occurrence per run wins
+    order = np.lexsort((idx, -scores, run_id))
+    run_sorted = run_id[order]
+    best_mask = first_occurrence_mask(run_sorted)
+    best_idx = order[best_mask]  # one entry per run, its argmax
+    b_read = u_read[best_idx]
+    b_score = scores[best_idx]
+
+    # -- top-m runs per read
+    top_mask = segmented_top_k_mask(b_read, b_score, m)
+    sel = best_idx[top_mask]
+    sel_read = b_read[top_mask]
+    sel_score = b_score[top_mask]
+    # rank within read by (-score, index) for deterministic column order
+    rank_order = np.lexsort((sel, -sel_score, sel_read))
+    sel = sel[rank_order]
+    sel_read = sel_read[rank_order]
+    sel_score = sel_score[rank_order]
+    col = np.zeros(sel.size, dtype=np.int64)
+    if sel.size:
+        head = np.zeros(sel.size, dtype=bool)
+        head[0] = True
+        head[1:] = sel_read[1:] != sel_read[:-1]
+        first_pos = np.flatnonzero(head)
+        seg = np.cumsum(head) - 1
+        col = np.arange(sel.size) - first_pos[seg]
+
+    out.target[sel_read, col] = u_target[sel].astype(np.uint32)
+    out.window_first[sel_read, col] = u_window[sel].astype(np.uint32)
+    last_idx = span_end[sel] - 1
+    out.window_last[sel_read, col] = u_window[last_idx].astype(np.uint32)
+    out.score[sel_read, col] = sel_score
+    out.valid[sel_read, col] = True
+    return out

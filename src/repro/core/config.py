@@ -1,0 +1,83 @@
+"""Configuration: all MetaCache tunables with the paper's defaults.
+
+Section 5.2: "the default parameters are k-mer length of k = 16
+characters, a sketch size of s = 16, a window length of w = 127
+characters and a window overlap of k - 1 which results in a window
+stride of 127 - 16 + 1 = 112"; Section 4.1: "the maximum number of
+locations stored per k-mer is limited to a pre-defined value (254 per
+default)"; Section 4.2: "usually 2 <= m <= 4 top hits are enough".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hashing.sketch import SketchParams
+
+__all__ = ["MetaCacheParams", "ClassificationParams"]
+
+
+@dataclass(frozen=True)
+class ClassificationParams:
+    """The top-hit / LCA decision rule (Section 4.2).
+
+    A read is classified when its best candidate reaches ``min_hits``
+    sketch-feature hits.  If the runner-up score is below
+    ``lca_trigger_fraction`` of the best, the read is assigned the
+    best candidate's (sequence-level) taxon; otherwise the lowest
+    common ancestor of all candidates scoring at least that fraction
+    of the best is used.  Lowering ``min_hits`` trades precision for
+    sensitivity, exactly as the paper notes in Section 6.5.
+    """
+
+    max_candidates: int = 4  # m, the top-hit list length
+    min_hits: int = 5
+    lca_trigger_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if self.min_hits < 1:
+            raise ValueError("min_hits must be >= 1")
+        if not 0.0 < self.lca_trigger_fraction <= 1.0:
+            raise ValueError("lca_trigger_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MetaCacheParams:
+    """Complete database + classification configuration."""
+
+    sketch: SketchParams = field(default_factory=SketchParams)
+    max_locations_per_feature: int = 254
+    bucket_size: int = 4
+    group_size: int = 4
+    max_load_factor: float = 0.8
+    classification: ClassificationParams = field(default_factory=ClassificationParams)
+
+    def __post_init__(self) -> None:
+        if self.max_locations_per_feature < 1:
+            raise ValueError("max_locations_per_feature must be >= 1")
+
+    @property
+    def window_stride(self) -> int:
+        return self.sketch.layout.stride
+
+    def sliding_window_size(self, read_len: int) -> int:
+        """Sliding-window size ``sws`` of the top-candidate kernel.
+
+        A read of this length can hit at most ``covered_windows``
+        consecutive reference windows, plus one for straddling a
+        window boundary (Section 5.6: "determined by the length of
+        the respective read").
+        """
+        return self.sketch.layout.covered_windows(read_len) + 1
+
+    @classmethod
+    def small(cls, **overrides) -> "MetaCacheParams":
+        """Reduced parameters for tests: k=8, s=4, w=24."""
+        defaults = dict(
+            sketch=SketchParams(k=8, sketch_size=4, window_size=24),
+            max_locations_per_feature=254,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

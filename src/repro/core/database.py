@@ -1,0 +1,322 @@
+"""The reference database: partitioned minhash k-mer index + taxonomy.
+
+A database maps 32-bit sketch features to packed (target, window)
+locations through one :class:`repro.warpcore.MultiBucketHashTable`
+per *partition*.  Partitions correspond to GPUs (Section 4.3): a
+reference sequence (target) is never split across partitions, the
+same feature may appear in several partitions, and each partition
+enforces the per-feature location cap independently -- which is why
+the partitioned GPU database retains more locations per k-mer than
+the single CPU table and gains accuracy (Section 6.5).
+
+Two storage layouts exist, as in the paper (Section 5.1):
+
+- the **build layout** -- the multi-bucket table as filled during
+  construction; usable for querying immediately (on-the-fly mode);
+- the **condensed layout** -- produced by save/load: all location
+  buckets concatenated into one dense array with a single-value table
+  mapping features to (offset, length) pointers.
+
+``Database.query_features`` hides the difference from the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import MetaCacheParams
+from repro.gpu.device import Device
+from repro.hashing.minhash import SKETCH_PAD
+from repro.hashing.sketch import sketch_sequence
+from repro.taxonomy.lca import LcaIndex
+from repro.taxonomy.lineage import RankedLineages
+from repro.taxonomy.tree import Taxonomy
+from repro.util.bitops import pack_pairs
+from repro.warpcore.multi_bucket import MultiBucketHashTable
+from repro.warpcore.single_value import SingleValueHashTable
+
+__all__ = ["TargetRecord", "DatabasePartition", "CondensedIndex", "Database"]
+
+
+@dataclass(frozen=True)
+class TargetRecord:
+    """Metadata of one reference target (a single sequence/scaffold)."""
+
+    target_id: int
+    name: str
+    taxon_id: int
+    length: int
+    n_windows: int
+    partition_id: int
+
+
+@dataclass
+class CondensedIndex:
+    """The load-from-disk layout: dense buckets + pointer table.
+
+    ``locations`` holds every feature's location list contiguously;
+    ``pointers`` maps a feature to its packed (offset << 24 | length)
+    via a :class:`SingleValueHashTable` (Section 5.1 uses exactly this
+    structure on the GPU).
+    """
+
+    OFFSET_SHIFT = np.uint64(24)
+    LENGTH_MASK = np.uint64((1 << 24) - 1)
+
+    locations: np.ndarray
+    pointers: SingleValueHashTable
+
+    @classmethod
+    def from_table(cls, table: MultiBucketHashTable) -> "CondensedIndex":
+        """Compact a build-layout table into the condensed layout."""
+        uniq = table.occupied_keys()
+        values, offsets = table.retrieve(uniq)
+        lengths = np.diff(offsets).astype(np.uint64)
+        if lengths.size and int(lengths.max()) >= (1 << 24):
+            raise ValueError("location list too long for condensed pointer")
+        packed = (offsets[:-1].astype(np.uint64) << cls.OFFSET_SHIFT) | lengths
+        pointers = SingleValueHashTable(capacity_keys=max(16, uniq.size))
+        pointers.insert(uniq, packed)
+        return cls(locations=values, pointers=pointers)
+
+    def retrieve(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Same contract as ``MultiBucketHashTable.retrieve``."""
+        packed, found = self.pointers.retrieve(features)
+        lengths = np.where(found, packed & self.LENGTH_MASK, np.uint64(0)).astype(
+            np.int64
+        )
+        starts = (packed >> self.OFFSET_SHIFT).astype(np.int64)
+        offsets = np.zeros(features.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        out = np.empty(int(offsets[-1]), dtype=np.uint64)
+        # gather each query's slice (vectorized over a range matrix is
+        # wasteful for skewed lengths; use repeat-based gather instead)
+        if out.size:
+            idx = np.repeat(starts, lengths) + _ramp(lengths)
+            out[:] = self.locations[idx]
+        return out, offsets
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.locations.nbytes) + self.pointers.stats().bytes_total
+
+
+def _ramp(lengths: np.ndarray) -> np.ndarray:
+    """[0,1,..,l0-1, 0,1,..,l1-1, ...] for the repeat-based gather."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    seg_starts = ends - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(seg_starts, lengths)
+
+
+@dataclass
+class DatabasePartition:
+    """One partition: a hash table bound to (at most) one device."""
+
+    partition_id: int
+    table: MultiBucketHashTable | None
+    condensed: CondensedIndex | None = None
+    device: Device | None = None
+    allocation_name: str = ""
+
+    def retrieve(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.condensed is not None:
+            return self.condensed.retrieve(features)
+        if self.table is None:
+            raise RuntimeError("partition has neither build nor condensed layout")
+        return self.table.retrieve(features)
+
+    @property
+    def nbytes(self) -> int:
+        if self.condensed is not None:
+            return self.condensed.nbytes
+        return self.table.stats().bytes_total if self.table else 0
+
+    def condense(self) -> None:
+        """Switch to the condensed layout (drops the build table)."""
+        if self.condensed is None:
+            self.condensed = CondensedIndex.from_table(self.table)
+            self.table = None
+
+
+class Database:
+    """A queryable, partitioned MetaCache database."""
+
+    def __init__(
+        self,
+        params: MetaCacheParams,
+        taxonomy: Taxonomy,
+        partitions: list[DatabasePartition],
+        targets: list[TargetRecord],
+    ) -> None:
+        self.params = params
+        self.taxonomy = taxonomy
+        self.partitions = partitions
+        self.targets = targets
+        self.lineages = RankedLineages(taxonomy)
+        self.lca = LcaIndex(taxonomy)
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        references: Iterable[tuple[str, np.ndarray, int]],
+        taxonomy: Taxonomy,
+        params: MetaCacheParams | None = None,
+        n_partitions: int = 1,
+        devices: Sequence[Device] | None = None,
+        insert_batch_windows: int = 100_000,
+    ) -> "Database":
+        """Build a database from (name, encoded_sequence, taxon_id) triples.
+
+        Targets are assigned to partitions greedily by accumulated
+        length (lightest partition first), never splitting a target.
+        When ``devices`` are given, each partition's table allocation
+        is charged against its device's memory pool and
+        ``OutOfDeviceMemory`` propagates -- callers then retry with
+        more partitions, exactly like the real workflow.
+        """
+        params = params or MetaCacheParams()
+        refs = list(references)
+        if devices is not None:
+            if len(devices) < n_partitions:
+                raise ValueError("need at least one device per partition")
+        stride = params.window_stride
+        s = params.sketch.sketch_size
+
+        # -- partition assignment: greedy by base count
+        part_load = np.zeros(n_partitions, dtype=np.int64)
+        assignment: list[int] = []
+        for _, codes, _ in refs:
+            p = int(np.argmin(part_load))
+            assignment.append(p)
+            part_load[p] += codes.size
+
+        # -- allocate one table per partition, sized by its share
+        partitions: list[DatabasePartition] = []
+        for p in range(n_partitions):
+            bases = int(part_load[p])
+            est_windows = max(1, bases // stride + len(refs))
+            est_features = est_windows * s
+            table = MultiBucketHashTable(
+                capacity_values=max(256, est_features),
+                bucket_size=params.bucket_size,
+                group_size=params.group_size,
+                max_load_factor=params.max_load_factor,
+                max_locations_per_key=params.max_locations_per_feature,
+                expected_unique_keys=max(256, int(est_features * 0.8)),
+            )
+            device = devices[p] if devices is not None else None
+            alloc_name = f"partition{p}/table"
+            if device is not None:
+                device.memory.alloc(alloc_name, table.stats().bytes_total)
+            partitions.append(
+                DatabasePartition(
+                    partition_id=p,
+                    table=table,
+                    device=device,
+                    allocation_name=alloc_name,
+                )
+            )
+
+        # -- sketch and insert every target
+        targets: list[TargetRecord] = []
+        pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+            p: [] for p in range(n_partitions)
+        }
+        pending_windows = {p: 0 for p in range(n_partitions)}
+
+        def flush(p: int) -> None:
+            if not pending[p]:
+                return
+            feats = np.concatenate([f for f, _ in pending[p]])
+            locs = np.concatenate([l for _, l in pending[p]])
+            partitions[p].table.insert(feats, locs)
+            pending[p].clear()
+            pending_windows[p] = 0
+
+        for t, (name, codes, taxon_id) in enumerate(refs):
+            if taxon_id not in taxonomy:
+                raise KeyError(f"taxon {taxon_id} of target {name!r} not in taxonomy")
+            p = assignment[t]
+            sketches = sketch_sequence(codes, params.sketch)
+            n_windows = sketches.shape[0]
+            targets.append(
+                TargetRecord(
+                    target_id=t,
+                    name=name,
+                    taxon_id=taxon_id,
+                    length=int(codes.size),
+                    n_windows=n_windows,
+                    partition_id=p,
+                )
+            )
+            if n_windows:
+                window_ids = np.repeat(
+                    np.arange(n_windows, dtype=np.uint64), sketches.shape[1]
+                )
+                feats = sketches.reshape(-1)
+                valid = feats != SKETCH_PAD
+                locs = pack_pairs(
+                    np.full(valid.sum(), t, dtype=np.uint64), window_ids[valid]
+                )
+                pending[p].append((feats[valid], locs))
+                pending_windows[p] += n_windows
+                if pending_windows[p] >= insert_batch_windows:
+                    flush(p)
+        for p in range(n_partitions):
+            flush(p)
+        return cls(params=params, taxonomy=taxonomy, partitions=partitions, targets=targets)
+
+    # ------------------------------------------------------------------ query
+
+    def query_features(
+        self, features: np.ndarray, partition_id: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Location lists for a feature batch against one partition."""
+        return self.partitions[partition_id].retrieve(features)
+
+    # -------------------------------------------------------------- metadata
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.targets)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def total_windows(self) -> int:
+        return sum(t.n_windows for t in self.targets)
+
+    @property
+    def nbytes(self) -> int:
+        """Total index bytes across partitions (the 'DB size' column)."""
+        return sum(p.nbytes for p in self.partitions)
+
+    def target_taxa(self) -> np.ndarray:
+        """taxon id per target id (dense vector for the classifier)."""
+        return np.array([t.taxon_id for t in self.targets], dtype=np.int64)
+
+    def condense(self) -> None:
+        """Convert all partitions to the condensed query layout."""
+        for p in self.partitions:
+            p.condense()
+
+    def release_devices(self) -> None:
+        """Free device memory allocations (end of GPU session)."""
+        for p in self.partitions:
+            if p.device is not None and p.allocation_name:
+                try:
+                    p.device.memory.free(p.allocation_name)
+                except KeyError:
+                    pass
+            p.device = None

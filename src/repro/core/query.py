@@ -1,0 +1,155 @@
+"""The query pipeline (Section 5.2, steps 1-8) with stage timers.
+
+Per batch of reads:
+
+1-3. encode + hash + sketch every read window (one batched kernel);
+4.   query sketch features against each partition's hash table;
+5.   compact per-window location lists into per-read segments
+     (the feature-order output of the batched retrieve is already
+     window-grouped, so compaction reduces to offset arithmetic --
+     the simulated kernel time is what the cost model charges);
+6.   segmented sort of each read's locations;
+7-8. window-count statistic + sliding-window top-m candidates.
+
+With several partitions, sketches are generated once and each
+partition produces local top hits which merge along the (simulated)
+device ring -- contents identical to a single-table query because
+targets are never split across partitions.
+
+Paired-end mates are interleaved (m1[0], m2[0], m1[1], ...) so each
+pair's windows are adjacent and feed one combined candidate list, as
+in Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import Candidates, generate_top_candidates
+from repro.core.config import MetaCacheParams
+from repro.core.database import Database
+from repro.gpu.multi_gpu import ring_merge_candidates
+from repro.gpu.topology import MultiGpuNode
+from repro.hashing.minhash import SKETCH_PAD
+from repro.hashing.sketch import sketch_reads
+from repro.sort.compaction import read_segment_offsets
+from repro.sort.segmented import segmented_sort_lexsort
+from repro.util.timer import StageTimer
+
+__all__ = ["QueryResult", "query_database"]
+
+
+@dataclass
+class QueryResult:
+    """Output of a query run: top candidates + instrumentation."""
+
+    candidates: Candidates
+    n_reads: int
+    read_lengths: np.ndarray  # total bases per read (both mates)
+    stages: StageTimer = field(default_factory=StageTimer)
+    total_locations: int = 0
+
+
+def _interleave_pairs(
+    sequences: list[np.ndarray], mates: list[np.ndarray] | None
+) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    """Flatten reads (+mates) into one sequence list with read ids."""
+    n = len(sequences)
+    if mates is None:
+        ids = np.arange(n, dtype=np.int64)
+        lengths = np.array([s.size for s in sequences], dtype=np.int64)
+        return list(sequences), ids, lengths
+    if len(mates) != n:
+        raise ValueError("mates list must match sequences list")
+    seqs: list[np.ndarray] = []
+    ids = np.empty(2 * n, dtype=np.int64)
+    for i, (m1, m2) in enumerate(zip(sequences, mates)):
+        seqs.append(m1)
+        seqs.append(m2)
+        ids[2 * i] = i
+        ids[2 * i + 1] = i
+    lengths = np.array(
+        [a.size + b.size for a, b in zip(sequences, mates)], dtype=np.int64
+    )
+    return seqs, ids, lengths
+
+
+def query_database(
+    db: Database,
+    sequences: list[np.ndarray],
+    mates: list[np.ndarray] | None = None,
+    params: MetaCacheParams | None = None,
+    node: MultiGpuNode | None = None,
+) -> QueryResult:
+    """Query reads against every database partition and merge.
+
+    Parameters
+    ----------
+    db:
+        the database (build or condensed layout).
+    sequences / mates:
+        encoded reads; ``mates`` enables paired-end mode.
+    params:
+        defaults to the database's own parameters.
+    node:
+        optional multi-GPU node; when given and matching the
+        partition count, candidate merging runs through the simulated
+        device ring (identical results, adds transfer timing).
+    """
+    params = params or db.params
+    timer = StageTimer()
+    seqs, read_ids, read_lengths = _interleave_pairs(sequences, mates)
+    n_reads = len(sequences)
+    m = params.classification.max_candidates
+
+    with timer.stage("sketch"):
+        sketches, window_read_ids = sketch_reads(seqs, params.sketch, read_ids)
+    n_windows, s = sketches.shape
+    flat_features = sketches.reshape(-1)
+    valid = flat_features != SKETCH_PAD
+    feat_window = np.repeat(np.arange(n_windows, dtype=np.int64), s)[valid]
+    features = flat_features[valid]
+
+    sws = np.array(
+        [params.sliding_window_size(int(l)) for l in read_lengths], dtype=np.int64
+    )
+
+    per_partition: list[Candidates] = []
+    total_locations = 0
+    for pid in range(db.n_partitions):
+        with timer.stage("query"):
+            locations, feat_offsets = db.query_features(features, pid)
+        total_locations += locations.size
+        with timer.stage("compact"):
+            feat_lengths = np.diff(feat_offsets)
+            window_counts = np.bincount(
+                feat_window, weights=feat_lengths, minlength=n_windows
+            ).astype(np.int64)
+            read_offsets = read_segment_offsets(
+                window_read_ids, window_counts, n_reads
+            )
+        with timer.stage("segmented_sort"):
+            sorted_locations = segmented_sort_lexsort(locations, read_offsets)
+        with timer.stage("window_count_top"):
+            cands = generate_top_candidates(sorted_locations, read_offsets, sws, m)
+        per_partition.append(cands)
+
+    with timer.stage("merge"):
+        if node is not None and node.n_gpus == db.n_partitions and node.n_gpus > 1:
+            merged, _ = ring_merge_candidates(
+                node, per_partition, sketch_bytes=int(features.nbytes)
+            )
+        else:
+            merged = per_partition[0]
+            for cands in per_partition[1:]:
+                merged = merged.merged_with(cands)
+
+    return QueryResult(
+        candidates=merged,
+        n_reads=n_reads,
+        read_lengths=read_lengths,
+        stages=timer,
+        total_locations=total_locations,
+    )

@@ -1,0 +1,106 @@
+"""Interactive query sessions (Section 4).
+
+"querying can be executed in different modes, either a single run
+processing all supplied input files or an interactive session, which
+holds the database in memory and allows for performing an arbitrary
+number of queries in succession."
+
+``QuerySession`` is that mode: it owns a database (built in-memory,
+loaded from disk, or handed over from an on-the-fly build), keeps
+running statistics across queries, and exposes the classify/map
+operations with per-call parameter overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classify import Classification, classify_reads
+from repro.core.config import ClassificationParams, MetaCacheParams
+from repro.core.database import Database
+from repro.core.mapping import ReadMapping, map_reads
+from repro.core.query import QueryResult, query_database
+from repro.util.timer import StageTimer
+
+__all__ = ["QuerySession", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Running totals across a session's queries."""
+
+    n_queries: int = 0
+    n_reads: int = 0
+    n_classified: int = 0
+    total_seconds: float = 0.0
+    stages: StageTimer = field(default_factory=StageTimer)
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return float("nan")
+        return self.n_reads / self.total_seconds
+
+
+class QuerySession:
+    """Holds a database in memory for repeated queries."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.stats = SessionStats()
+
+    def classify(
+        self,
+        sequences: list[np.ndarray],
+        mates: list[np.ndarray] | None = None,
+        classification: ClassificationParams | None = None,
+    ) -> tuple[Classification, QueryResult]:
+        """Classify one batch; accumulates session statistics.
+
+        ``classification`` overrides the decision-rule parameters for
+        this call only (the paper's Section 6.5 discusses retuning the
+        hit threshold per analysis without rebuilding anything).
+        """
+        params = self.database.params
+        if classification is not None:
+            params = MetaCacheParams(
+                sketch=params.sketch,
+                max_locations_per_feature=params.max_locations_per_feature,
+                bucket_size=params.bucket_size,
+                group_size=params.group_size,
+                max_load_factor=params.max_load_factor,
+                classification=classification,
+            )
+        result = query_database(self.database, sequences, mates=mates, params=params)
+        cls = classify_reads(self.database, result.candidates, params.classification)
+        self.stats.n_queries += 1
+        self.stats.n_reads += result.n_reads
+        self.stats.n_classified += cls.n_classified
+        self.stats.total_seconds += result.stages.total
+        self.stats.stages.merge(result.stages)
+        return cls, result
+
+    def map(
+        self,
+        sequences: list[np.ndarray],
+        mates: list[np.ndarray] | None = None,
+        min_hits: int | None = None,
+    ) -> ReadMapping:
+        """Map one batch to reference regions (extension feature)."""
+        mapping = map_reads(
+            self.database, sequences, mates=mates, min_hits=min_hits
+        )
+        self.stats.n_queries += 1
+        self.stats.n_reads += len(sequences)
+        return mapping
+
+    def summary(self) -> str:
+        s = self.stats
+        frac = s.n_classified / s.n_reads if s.n_reads else float("nan")
+        return (
+            f"{s.n_queries} queries, {s.n_reads} reads, "
+            f"{s.n_classified} classified ({frac:.1%}), "
+            f"{s.reads_per_second:,.0f} reads/s"
+        )

@@ -1,0 +1,105 @@
+"""Minimal, robust FASTA reading and writing.
+
+The build pipeline's producer threads parse reference genome files
+into (header, sequence) pairs (Section 4.1); this module is that
+parser.  It is intentionally streaming-friendly: :func:`read_fasta`
+is a generator so multi-gigabyte files never need to fit in memory
+at once (batching happens in :mod:`repro.pipeline`).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta"]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: full header line (sans '>') and sequence string."""
+
+    header: str
+    sequence: str
+
+    @property
+    def accession(self) -> str:
+        """First whitespace-delimited token of the header.
+
+        MetaCache extracts the genomic identifier from the header to
+        link the target to the taxonomy (Section 4.1); we use the
+        leading token as that identifier.
+        """
+        return self.header.split()[0] if self.header.split() else ""
+
+
+def read_fasta(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastaRecord]:
+    """Yield records from a FASTA file path or open text handle.
+
+    Tolerates leading blank lines, Windows line endings and missing
+    trailing newline.  Raises ``ValueError`` on sequence data before
+    the first header.
+    """
+    own = False
+    if isinstance(source, (str, os.PathLike)):
+        handle: io.TextIOBase = open(source, "r", encoding="ascii")
+        own = True
+    else:
+        handle = source
+    try:
+        header: str | None = None
+        chunks: list[str] = []
+        for line in handle:
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield FastaRecord(header, "".join(chunks))
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError("FASTA sequence data before first header")
+                chunks.append(line.strip())
+        if header is not None:
+            yield FastaRecord(header, "".join(chunks))
+    finally:
+        if own:
+            handle.close()
+
+
+def write_fasta(
+    records: Iterable[FastaRecord | tuple[str, str]],
+    dest: str | os.PathLike | io.TextIOBase,
+    line_width: int = 80,
+) -> int:
+    """Write records to a FASTA file; returns the number written.
+
+    Accepts either :class:`FastaRecord` objects or plain
+    ``(header, sequence)`` tuples.
+    """
+    own = False
+    if isinstance(dest, (str, os.PathLike)):
+        handle: io.TextIOBase = open(dest, "w", encoding="ascii")
+        own = True
+    else:
+        handle = dest
+    count = 0
+    try:
+        for rec in records:
+            if isinstance(rec, tuple):
+                header, seq = rec
+            else:
+                header, seq = rec.header, rec.sequence
+            handle.write(f">{header}\n")
+            for i in range(0, len(seq), line_width):
+                handle.write(seq[i : i + line_width])
+                handle.write("\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count

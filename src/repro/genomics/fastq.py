@@ -1,0 +1,89 @@
+"""Minimal FASTQ reading and writing (4-line records).
+
+KAL_D-style datasets are paired-end FASTQ; the query pipeline's
+producer thread consumes these.  Quality strings are carried through
+verbatim but the classifier itself never interprets them (neither
+does MetaCache).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["FastqRecord", "read_fastq", "write_fastq"]
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry: id line (sans '@'), sequence, quality string."""
+
+    header: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"sequence/quality length mismatch for '{self.header}': "
+                f"{len(self.sequence)} vs {len(self.quality)}"
+            )
+
+
+def read_fastq(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastqRecord]:
+    """Yield records from a FASTQ path or open handle.
+
+    Strict 4-line format; raises ``ValueError`` on malformed records
+    (wrong sigil or truncated final record).
+    """
+    own = False
+    if isinstance(source, (str, os.PathLike)):
+        handle: io.TextIOBase = open(source, "r", encoding="ascii")
+        own = True
+    else:
+        handle = source
+    try:
+        while True:
+            head = handle.readline()
+            if not head:
+                return
+            head = head.rstrip("\r\n")
+            if not head:
+                continue
+            if not head.startswith("@"):
+                raise ValueError(f"expected '@' header, got: {head[:40]!r}")
+            seq = handle.readline().rstrip("\r\n")
+            plus = handle.readline().rstrip("\r\n")
+            qual = handle.readline().rstrip("\r\n")
+            if not plus.startswith("+"):
+                raise ValueError(f"expected '+' separator, got: {plus[:40]!r}")
+            if len(qual) != len(seq):
+                raise ValueError(f"truncated FASTQ record: {head[:40]!r}")
+            yield FastqRecord(head[1:].strip(), seq, qual)
+    finally:
+        if own:
+            handle.close()
+
+
+def write_fastq(
+    records: Iterable[FastqRecord],
+    dest: str | os.PathLike | io.TextIOBase,
+) -> int:
+    """Write records to a FASTQ file; returns the number written."""
+    own = False
+    if isinstance(dest, (str, os.PathLike)):
+        handle: io.TextIOBase = open(dest, "w", encoding="ascii")
+        own = True
+    else:
+        handle = dest
+    count = 0
+    try:
+        for rec in records:
+            handle.write(f"@{rec.header}\n{rec.sequence}\n+\n{rec.quality}\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count

@@ -1,0 +1,90 @@
+"""Vectorized canonical k-mer extraction.
+
+Given an encoded sequence of length ``n`` this module produces the
+``n - k + 1`` packed 2-bit k-mers, their validity mask (a k-mer is
+invalid if it covers any ambiguous base) and the canonical form
+``min(kmer, revcomp(kmer))`` that MetaCache hashes.
+
+The packing loop runs ``k`` vector operations over the sequence --
+the Python-level loop is over the (small, <=32) k-mer length, never
+over sequence positions, matching the "vectorize the long axis"
+idiom from the HPC guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.genomics.alphabet import AMBIG
+from repro.util.bitops import reverse_complement_2bit
+
+__all__ = [
+    "pack_kmers",
+    "kmer_validity",
+    "canonical_kmers",
+    "valid_canonical_kmers",
+]
+
+_U64 = np.uint64
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """Pack all k-mers of an encoded sequence into uint64 values.
+
+    Ambiguous bases are packed as code 0; callers must combine with
+    :func:`kmer_validity` to discard affected k-mers.  Returns an
+    array of length ``max(0, len(codes) - k + 1)``.
+    """
+    if not 1 <= k <= 32:
+        raise ValueError(f"k must be in [1, 32], got {k}")
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    m = n - k + 1
+    if m <= 0:
+        return np.zeros(0, dtype=_U64)
+    safe = np.where(codes == AMBIG, np.uint8(0), codes).astype(_U64)
+    out = np.zeros(m, dtype=_U64)
+    for j in range(k):
+        shift = _U64(2 * (k - 1 - j))
+        out |= safe[j : j + m] << shift
+    return out
+
+
+def kmer_validity(codes: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask: True where the k-mer starting at i has no AMBIG base.
+
+    Computed with a cumulative count of ambiguous positions so cost is
+    O(n) regardless of k.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    m = n - k + 1
+    if m <= 0:
+        return np.zeros(0, dtype=bool)
+    bad = (codes == AMBIG).astype(np.int64)
+    cum = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(bad, out=cum[1:])
+    return (cum[k:] - cum[:-k]) == 0
+
+
+def canonical_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Canonical form: element-wise min of k-mer and its reverse complement.
+
+    Using the numeric minimum makes the canonical choice orientation
+    independent: a read from the reverse strand produces the same
+    canonical k-mers as the forward reference.
+    """
+    kmers = np.asarray(kmers, dtype=_U64)
+    rc = reverse_complement_2bit(kmers, k)
+    return np.minimum(kmers, rc)
+
+
+def valid_canonical_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """All valid canonical k-mers of an encoded sequence, in order.
+
+    Convenience composition used by the scalar reference paths and the
+    Kraken2-like baseline.
+    """
+    kmers = pack_kmers(codes, k)
+    valid = kmer_validity(codes, k)
+    return canonical_kmers(kmers[valid], k)

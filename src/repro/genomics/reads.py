@@ -1,0 +1,191 @@
+"""Illumina-like read simulation with ground truth.
+
+Reproduces the regimes of the paper's three query datasets (Table 2):
+
+- **HiSeq-like**: short single-end reads, ~92 bp average, <=101 bp.
+- **MiSeq-like**: longer single-end reads, ~157 bp average, <=251 bp
+  (longer than MetaCache's 127 bp window, so reads split into two
+  windows -- the case Section 6.2 calls out as slower).
+- **KAL_D-like**: 101 bp paired-end reads from a mixture.
+
+Each simulated read records the genome (target index), species and
+genus it was drawn from, giving exact per-read ground truth for the
+precision/sensitivity computations of Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genomics.alphabet import AMBIG
+from repro.genomics.simulate import SimulatedGenome
+from repro.util.rng import derive_rng
+
+__all__ = ["ReadProfile", "SimulatedReads", "ReadSimulator", "HISEQ", "MISEQ", "KAL_D"]
+
+
+@dataclass(frozen=True)
+class ReadProfile:
+    """Sequencing profile: length distribution, error rate, pairing."""
+
+    name: str
+    mean_length: int
+    max_length: int
+    min_length: int = 19
+    error_rate: float = 0.004
+    paired: bool = False
+    fragment_mean: int = 350
+    fragment_sd: int = 40
+
+    def sample_lengths(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Sample read lengths.
+
+        Most Illumina reads come out at full machine length with a
+        small trimmed tail, so we draw from a truncated geometric-ish
+        mixture: ~85% at max length, the rest uniform down to min.
+        When mean == max every read has exactly that length (KAL_D).
+        """
+        if self.mean_length >= self.max_length:
+            return np.full(n, self.max_length, dtype=np.int64)
+        full_frac = np.clip(
+            (self.mean_length - (self.min_length + self.max_length) / 2)
+            / (self.max_length - (self.min_length + self.max_length) / 2),
+            0.05,
+            0.98,
+        )
+        full = rng.random(n) < full_frac
+        lengths = rng.integers(self.min_length, self.max_length + 1, size=n)
+        lengths[full] = self.max_length
+        return lengths.astype(np.int64)
+
+
+# Profiles matching Table 2's datasets.
+HISEQ = ReadProfile("HiSeq", mean_length=92, max_length=101, min_length=19)
+MISEQ = ReadProfile("MiSeq", mean_length=157, max_length=251, min_length=19)
+KAL_D = ReadProfile(
+    "KAL_D", mean_length=101, max_length=101, min_length=101,
+    error_rate=0.004, paired=True,
+)
+
+
+@dataclass
+class SimulatedReads:
+    """A batch of simulated reads with per-read ground truth.
+
+    ``sequences`` holds encoded code arrays; for paired reads,
+    ``mates`` holds the second mate (same order) and both mates share
+    one truth entry -- MetaCache classifies the pair jointly.
+    """
+
+    profile: ReadProfile
+    sequences: list[np.ndarray]
+    mates: list[np.ndarray] | None
+    true_target: np.ndarray  # index into the genome collection
+    true_species: np.ndarray
+    true_genus: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def paired(self) -> bool:
+        return self.mates is not None
+
+    def length_stats(self) -> tuple[int, int, float]:
+        """(min, max, mean) over all mates, like Table 2 reports."""
+        lens = [s.size for s in self.sequences]
+        if self.mates is not None:
+            lens += [m.size for m in self.mates]
+        arr = np.array(lens)
+        return int(arr.min()), int(arr.max()), float(arr.mean())
+
+
+def _apply_errors(
+    rng: np.random.Generator, codes: np.ndarray, error_rate: float
+) -> np.ndarray:
+    out = codes.copy()
+    if error_rate <= 0.0 or out.size == 0:
+        return out
+    hits = np.flatnonzero(rng.random(out.size) < error_rate)
+    if hits.size:
+        shift = rng.integers(1, 4, size=hits.size, dtype=np.uint8)
+        ok = out[hits] != AMBIG
+        out[hits[ok]] = (out[hits[ok]] + shift[ok]) % np.uint8(4)
+    return out
+
+
+def _revcomp_codes(codes: np.ndarray) -> np.ndarray:
+    comp = np.where(codes == AMBIG, codes, np.uint8(3) - codes)
+    return comp[::-1].copy()
+
+
+@dataclass
+class ReadSimulator:
+    """Samples reads from a genome collection.
+
+    ``weights`` control per-genome abundance (uniform by default);
+    positions are uniform along the concatenated scaffolds of the
+    chosen genome, and strands are random.
+    """
+
+    genomes: list[SimulatedGenome]
+    seed: int = 99
+    weights: np.ndarray | None = None
+
+    def _genome_sampler(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        k = len(self.genomes)
+        if self.weights is None:
+            return rng.integers(0, k, size=n)
+        w = np.asarray(self.weights, dtype=np.float64)
+        w = w / w.sum()
+        return rng.choice(k, size=n, p=w)
+
+    def simulate(self, profile: ReadProfile, n_reads: int) -> SimulatedReads:
+        """Simulate ``n_reads`` reads (or read pairs) under ``profile``."""
+        rng = derive_rng(self.seed, "reads", profile.name, n_reads)
+        choices = self._genome_sampler(rng, n_reads)
+        lengths = profile.sample_lengths(rng, n_reads)
+        seqs: list[np.ndarray] = []
+        mates: list[np.ndarray] | None = [] if profile.paired else None
+        t_target = np.empty(n_reads, dtype=np.int64)
+        t_species = np.empty(n_reads, dtype=np.int64)
+        t_genus = np.empty(n_reads, dtype=np.int64)
+        for i in range(n_reads):
+            g = self.genomes[int(choices[i])]
+            scaffold = g.scaffolds[int(rng.integers(0, len(g.scaffolds)))]
+            L = int(min(lengths[i], scaffold.size))
+            if profile.paired:
+                frag = int(
+                    np.clip(
+                        rng.normal(profile.fragment_mean, profile.fragment_sd),
+                        L,
+                        max(L, scaffold.size),
+                    )
+                )
+                start = int(rng.integers(0, max(1, scaffold.size - frag + 1)))
+                fragment = scaffold[start : start + frag]
+                m1 = fragment[:L]
+                m2 = _revcomp_codes(fragment[-L:])
+                if rng.random() < 0.5:
+                    m1, m2 = _revcomp_codes(fragment[-L:]), fragment[:L].copy()
+                seqs.append(_apply_errors(rng, np.ascontiguousarray(m1), profile.error_rate))
+                mates.append(_apply_errors(rng, np.ascontiguousarray(m2), profile.error_rate))  # type: ignore[union-attr]
+            else:
+                start = int(rng.integers(0, max(1, scaffold.size - L + 1)))
+                read = scaffold[start : start + L]
+                if rng.random() < 0.5:
+                    read = _revcomp_codes(read)
+                seqs.append(_apply_errors(rng, np.ascontiguousarray(read), profile.error_rate))
+            t_target[i] = choices[i]
+            t_species[i] = g.species
+            t_genus[i] = g.genus
+        return SimulatedReads(
+            profile=profile,
+            sequences=seqs,
+            mates=mates,
+            true_target=t_target,
+            true_species=t_species,
+            true_genus=t_genus,
+        )

@@ -1,0 +1,73 @@
+"""Device memory accounting.
+
+The hash tables use a *static allocation strategy* (Section 5.1): the
+full table is allocated before insertion to avoid resize stalls, so
+whether a database fits is known at allocation time.  ``MemoryPool``
+tracks named allocations against the device capacity and raises
+``OutOfDeviceMemory`` exactly where the real system would fail --
+this is what the partitioner reacts to when it spreads a reference
+set across more GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryPool", "OutOfDeviceMemory"]
+
+
+def _fmt(n: int) -> str:
+    """Human-readable byte count for error messages."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{n} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Requested allocation exceeds remaining device memory."""
+
+
+@dataclass
+class MemoryPool:
+    """Tracks named allocations against a byte capacity."""
+
+    capacity_bytes: int
+    owner: str = "device"
+    _allocations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name`` (must be unique)."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if nbytes > self.free_bytes:
+            raise OutOfDeviceMemory(
+                f"{self.owner}: cannot allocate {_fmt(nbytes)} "
+                f"({_fmt(self.free_bytes)} free of {_fmt(self.capacity_bytes)})"
+            )
+        self._allocations[name] = nbytes
+
+    def free(self, name: str) -> int:
+        """Release an allocation; returns its size."""
+        try:
+            return self._allocations.pop(name)
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r}") from None
+
+    def would_fit(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def reset(self) -> None:
+        self._allocations.clear()

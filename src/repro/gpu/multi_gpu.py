@@ -1,0 +1,89 @@
+"""Multi-GPU query choreography: sketch forwarding + top-hit merging.
+
+Figure 2's query flow: read batches land on the *first* device, which
+generates the sketches; sketches are forwarded device-to-device along
+the ring while every device queries its local partition; each device
+merges its local top hits with its predecessor's, so the *last*
+device holds the global top list, which returns to the host.
+
+The data movement is simulated (streams + link model provide the
+timing for the cost accounting); the candidate *contents* are real --
+merging is :meth:`repro.core.candidates.Candidates.merged_with`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidates
+from repro.gpu.stream import Event, Stream
+from repro.gpu.topology import MultiGpuNode
+
+__all__ = ["RingQueryTrace", "ring_merge_candidates"]
+
+
+@dataclass
+class RingQueryTrace:
+    """Simulated timing of one ring traversal (for the cost benches)."""
+
+    forward_times: list[float]
+    merge_order: list[int]
+    total_transfer_seconds: float
+
+
+def ring_merge_candidates(
+    node: MultiGpuNode,
+    per_device_candidates: list[Candidates],
+    sketch_bytes: int = 0,
+    tophit_bytes_per_read: int = 64,
+) -> tuple[Candidates, RingQueryTrace]:
+    """Merge per-device candidate lists along the device ring.
+
+    Parameters
+    ----------
+    node:
+        the multi-GPU node (provides ring order and link bandwidths).
+    per_device_candidates:
+        local top hits from each device's partition, index-aligned
+        with ``node.devices``.
+    sketch_bytes:
+        bytes of sketches forwarded hop-to-hop (timing only).
+    tophit_bytes_per_read:
+        bytes per read of the running top list (timing only).
+
+    Returns the globally merged candidates (exactly what a single
+    database covering all partitions would produce, because targets
+    are never split across devices) plus the timing trace.
+    """
+    order = node.ring_order()
+    if len(per_device_candidates) != node.n_gpus:
+        raise ValueError("need one candidate set per device")
+    streams = [Stream(name=f"dev{i}/query") for i in order]
+    forward_times: list[float] = []
+    total_transfer = 0.0
+
+    merged = per_device_candidates[order[0]]
+    n_reads = merged.n_reads
+    prev_event = Event("dev0-local-done")
+    streams[0].enqueue("local_query", 0.0)
+    streams[0].record_event(prev_event)
+    for hop, dev in enumerate(order[1:], start=1):
+        # sketches hop forward; the next device waits for them before
+        # its local query completes, then merges the running top list
+        t_sketch = node.transfer_time(order[hop - 1], dev, sketch_bytes)
+        t_tops = node.transfer_time(
+            order[hop - 1], dev, tophit_bytes_per_read * n_reads
+        )
+        total_transfer += t_sketch + t_tops
+        streams[hop].wait_event(prev_event)
+        end = streams[hop].enqueue("recv_and_merge", t_sketch + t_tops)
+        forward_times.append(end)
+        prev_event = Event(f"dev{dev}-merge-done")
+        streams[hop].record_event(prev_event)
+        merged = merged.merged_with(per_device_candidates[dev])
+    trace = RingQueryTrace(
+        forward_times=forward_times,
+        merge_order=order,
+        total_transfer_seconds=total_transfer,
+    )
+    return merged, trace

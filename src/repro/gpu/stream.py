@@ -1,0 +1,72 @@
+"""Simulated CUDA streams and events.
+
+Section 5.2: "CUDA events are used to orchestrate the pipeline,
+signaling when a stream has to wait or can continue work using the
+same memory resources as its predecessor."  We reproduce those
+semantics on a simulated clock: a stream is a serial timeline of
+operations, each with a simulated duration; events capture stream
+timestamps; waiting on an event advances a stream's cursor.  The
+resulting end-times model the copy/compute overlap that the cost
+model needs for the Fig. 4 phase accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Stream", "Event"]
+
+
+@dataclass
+class Event:
+    """Timestamp marker recorded on a stream (simulated seconds)."""
+
+    name: str = "event"
+    timestamp: float | None = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.timestamp is not None
+
+
+@dataclass
+class Stream:
+    """A serial simulated timeline of named operations."""
+
+    name: str = "stream"
+    cursor: float = 0.0
+    ops: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def enqueue(self, op_name: str, duration: float, earliest_start: float = 0.0) -> float:
+        """Append an operation; returns its completion time.
+
+        ``earliest_start`` models an external dependency (e.g. the
+        host finished preparing the batch at that time).
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.cursor, earliest_start)
+        end = start + duration
+        self.ops.append((op_name, start, end))
+        self.cursor = end
+        return end
+
+    def record_event(self, event: Event) -> Event:
+        """Capture the stream's current completion time into ``event``."""
+        event.timestamp = self.cursor
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Stall this stream until ``event``'s recorded time."""
+        if not event.recorded:
+            raise RuntimeError(f"waiting on unrecorded event {event.name!r}")
+        self.cursor = max(self.cursor, event.timestamp)
+
+    @property
+    def busy_time(self) -> float:
+        """Total duration of enqueued work (excludes wait gaps)."""
+        return sum(end - start for _, start, end in self.ops)
+
+    def op_times(self, op_name: str) -> float:
+        """Total duration of all operations with the given name."""
+        return sum(end - start for name, start, end in self.ops if name == op_name)

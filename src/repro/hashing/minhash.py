@@ -1,0 +1,84 @@
+"""Minhash sketching: the s smallest *distinct* feature values per window.
+
+Two implementations with identical semantics:
+
+- :func:`sketch_window` -- scalar reference, one window at a time.
+  Mirrors the CPU code path and anchors the property tests.
+- :func:`sketch_windows_batch` -- the batched analogue of the GPU
+  kernel (Section 5.3): all windows of a batch are laid out as rows
+  of a matrix, rows are sorted (the bitonic-sort step), duplicates
+  removed, and the first ``s`` survivors selected -- all with
+  row-parallel vector ops, no Python loop over windows.
+
+Padding uses ``SKETCH_PAD`` (all-ones uint64), which is larger than
+any 32-bit feature so it sorts to the end of each row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SKETCH_PAD", "sketch_window", "window_hash_matrix", "sketch_windows_batch"]
+
+SKETCH_PAD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def sketch_window(hashes: np.ndarray, s: int) -> np.ndarray:
+    """The ``s`` smallest distinct hash values of one window.
+
+    Returns a sorted array of length <= s (shorter when the window
+    holds fewer distinct values).
+    """
+    if s <= 0:
+        raise ValueError(f"sketch size must be positive, got {s}")
+    h = np.asarray(hashes, dtype=np.uint64)
+    return np.unique(h)[:s]
+
+
+def window_hash_matrix(
+    hashes: np.ndarray, starts: np.ndarray, lengths: np.ndarray, width: int
+) -> np.ndarray:
+    """Gather per-window hash slices into a padded (n_windows, width) matrix.
+
+    ``hashes`` holds the k-mer hash of every sequence position (invalid
+    positions must already be ``SKETCH_PAD``); window ``i`` covers
+    ``hashes[starts[i] : starts[i] + lengths[i]]``.  Built from one
+    fancy-gather, so cost is O(total window area).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = starts.size
+    cols = np.arange(width, dtype=np.int64)
+    idx = starts[:, None] + cols[None, :]
+    in_range = cols[None, :] < lengths[:, None]
+    idx = np.where(in_range, idx, 0)
+    matrix = np.where(in_range, hashes[idx], SKETCH_PAD)
+    return matrix
+
+
+def sketch_windows_batch(matrix: np.ndarray, s: int) -> np.ndarray:
+    """Row-wise minhash: ``s`` smallest distinct values per row.
+
+    Returns an (n_rows, s) uint64 matrix padded with ``SKETCH_PAD``
+    where a row has fewer than ``s`` distinct values.  This is the
+    vectorized counterpart of the warp kernel's bitonic-sort +
+    dedup + select pipeline.
+    """
+    if s <= 0:
+        raise ValueError(f"sketch size must be positive, got {s}")
+    if matrix.size == 0:
+        return np.full((matrix.shape[0], s), SKETCH_PAD, dtype=np.uint64)
+    m = np.sort(np.asarray(matrix, dtype=np.uint64), axis=1)
+    n_rows, width = m.shape
+    # First occurrence of each distinct value per row.
+    is_new = np.empty_like(m, dtype=bool)
+    is_new[:, 0] = m[:, 0] != SKETCH_PAD
+    np.not_equal(m[:, 1:], m[:, :-1], out=is_new[:, 1:])
+    is_new[:, 1:] &= m[:, 1:] != SKETCH_PAD
+    # Rank of each distinct value within its row (1-based among new).
+    rank = np.cumsum(is_new, axis=1)
+    take = is_new & (rank <= s)
+    out = np.full((n_rows, s), SKETCH_PAD, dtype=np.uint64)
+    rows, cols = np.nonzero(take)
+    out[rows, rank[rows, cols] - 1] = m[rows, cols]
+    return out

@@ -1,0 +1,142 @@
+"""High-level sketching: sequence/read -> per-window minhash sketches.
+
+Composes the k-mer, windowing and minhash layers into the two shapes
+the pipeline needs:
+
+- :func:`sketch_sequence` -- all windows of one reference sequence
+  (build phase, Fig. 1 step 1);
+- :func:`sketch_reads` -- all windows of a *batch* of reads mapped to
+  their read ids (query phase).  Reads shorter than the window size
+  yield a single window; longer reads split into several windows, as
+  Section 6.2 describes for MiSeq.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genomics.kmers import canonical_kmers, kmer_validity, pack_kmers
+from repro.genomics.windows import WindowLayout
+from repro.hashing.hashes import hash_kmers_h1
+from repro.hashing.minhash import SKETCH_PAD, sketch_windows_batch, window_hash_matrix
+
+__all__ = ["SketchParams", "sketch_sequence", "sketch_reads", "position_hashes"]
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Sketching configuration: k-mer length, sketch size, window size.
+
+    Defaults are the paper's: k=16, s=16, w=127 (stride 112).
+    """
+
+    k: int = 16
+    sketch_size: int = 16
+    window_size: int = 127
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= 32:
+            raise ValueError(f"k must be in [1,32], got {self.k}")
+        if self.sketch_size < 1:
+            raise ValueError("sketch_size must be >= 1")
+        if self.window_size < self.k:
+            raise ValueError("window_size must be >= k")
+
+    @property
+    def layout(self) -> WindowLayout:
+        return WindowLayout(k=self.k, window_size=self.window_size)
+
+    @property
+    def kmers_per_window(self) -> int:
+        return self.window_size - self.k + 1
+
+
+def position_hashes(codes: np.ndarray, params: SketchParams) -> np.ndarray:
+    """h1 of the canonical k-mer at every sequence position.
+
+    Positions whose k-mer covers an ambiguous base get ``SKETCH_PAD``
+    so they are transparently ignored by the sketch selection.
+    Length is ``len(codes) - k + 1`` (empty for short sequences).
+    """
+    kmers = pack_kmers(codes, params.k)
+    if kmers.size == 0:
+        return kmers  # empty uint64
+    hashes = hash_kmers_h1(canonical_kmers(kmers, params.k))
+    valid = kmer_validity(codes, params.k)
+    return np.where(valid, hashes, SKETCH_PAD)
+
+
+def sketch_sequence(codes: np.ndarray, params: SketchParams) -> np.ndarray:
+    """Sketch every window of a reference sequence.
+
+    Returns an ``(n_windows, s)`` uint64 matrix, padded with
+    ``SKETCH_PAD``.  Row ``i`` is the sketch of window ``i``.
+    """
+    hashes = position_hashes(codes, params)
+    layout = params.layout
+    starts, ends = layout.window_slices(codes.size)
+    if starts.size == 0:
+        return np.full((0, params.sketch_size), SKETCH_PAD, dtype=np.uint64)
+    lengths = ends - starts - params.k + 1
+    matrix = window_hash_matrix(hashes, starts, lengths, params.kmers_per_window)
+    return sketch_windows_batch(matrix, params.sketch_size)
+
+
+def sketch_reads(
+    sequences: list[np.ndarray],
+    params: SketchParams,
+    read_ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sketch a batch of reads.
+
+    Parameters
+    ----------
+    sequences:
+        encoded reads.  For paired-end data pass mate 1 and mate 2 as
+        separate entries sharing a ``read_ids`` value, mirroring how
+        MetaCache queries both mates into one result (Fig. 1 step 2).
+    read_ids:
+        id per sequence (defaults to 0..n-1).
+
+    Returns
+    -------
+    (sketches, window_read_ids):
+        sketches is (total_windows, s) uint64; window_read_ids maps
+        each window row to its read id.  Reads shorter than ``k``
+        contribute no windows.
+    """
+    if read_ids is None:
+        read_ids = np.arange(len(sequences), dtype=np.int64)
+    else:
+        read_ids = np.asarray(read_ids, dtype=np.int64)
+        if read_ids.size != len(sequences):
+            raise ValueError("read_ids length must match sequences")
+    layout = params.layout
+    all_hashes: list[np.ndarray] = []
+    starts_list: list[np.ndarray] = []
+    lengths_list: list[np.ndarray] = []
+    win_read: list[np.ndarray] = []
+    offset = 0
+    for seq, rid in zip(sequences, read_ids):
+        h = position_hashes(seq, params)
+        if h.size == 0:
+            continue
+        starts, ends = layout.window_slices(seq.size)
+        all_hashes.append(h)
+        starts_list.append(starts + offset)
+        lengths_list.append(ends - starts - params.k + 1)
+        win_read.append(np.full(starts.size, rid, dtype=np.int64))
+        offset += h.size
+    if not all_hashes:
+        return (
+            np.full((0, params.sketch_size), SKETCH_PAD, dtype=np.uint64),
+            np.zeros(0, dtype=np.int64),
+        )
+    hashes = np.concatenate(all_hashes)
+    starts = np.concatenate(starts_list)
+    lengths = np.concatenate(lengths_list)
+    matrix = window_hash_matrix(hashes, starts, lengths, params.kmers_per_window)
+    sketches = sketch_windows_batch(matrix, params.sketch_size)
+    return sketches, np.concatenate(win_read)

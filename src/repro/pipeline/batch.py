@@ -1,0 +1,37 @@
+"""Sequence batches flowing through the pipeline queues."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SequenceBatch"]
+
+
+@dataclass
+class SequenceBatch:
+    """A batch of parsed sequences.
+
+    ``headers`` carry the FASTA/FASTQ identifiers (the build phase
+    resolves them to taxa); ``sequences`` are encoded uint8 code
+    arrays; ``ids`` are global sequential indices assigned by the
+    producer so downstream results can be reassembled in input order
+    regardless of consumer scheduling.
+    """
+
+    headers: list[str] = field(default_factory=list)
+    sequences: list[np.ndarray] = field(default_factory=list)
+    ids: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def total_bases(self) -> int:
+        return int(sum(s.size for s in self.sequences))
+
+    def append(self, header: str, codes: np.ndarray, seq_id: int) -> None:
+        self.headers.append(header)
+        self.sequences.append(codes)
+        self.ids.append(seq_id)

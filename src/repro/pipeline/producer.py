@@ -1,0 +1,100 @@
+"""Producer threads: parse sequence files into batches.
+
+Section 4.1: "Multiple producer threads parse the genome files to
+split the data into header and sequence strings which are then pushed
+into the queue."  The producers here do exactly that (plus encoding,
+which in the GPU version happens device-side but costs the same
+either way in the simulation).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.genomics.alphabet import encode_sequence
+from repro.genomics.fasta import read_fasta
+from repro.genomics.fastq import read_fastq
+from repro.pipeline.batch import SequenceBatch
+from repro.pipeline.queues import ClosableQueue
+
+__all__ = ["fasta_producer", "fastq_producer", "sequence_producer"]
+
+
+def _emit_batches(
+    records: Iterable[tuple[str, str]],
+    out: ClosableQueue,
+    batch_size: int,
+    start_id: int,
+) -> int:
+    batch = SequenceBatch()
+    seq_id = start_id
+    for header, seq in records:
+        batch.append(header, encode_sequence(seq), seq_id)
+        seq_id += 1
+        if len(batch) >= batch_size:
+            out.put(batch)
+            batch = SequenceBatch()
+    if len(batch):
+        out.put(batch)
+    return seq_id - start_id
+
+
+def fasta_producer(
+    paths: Sequence[str | os.PathLike],
+    out: ClosableQueue,
+    batch_size: int = 64,
+    id_offset: int = 0,
+) -> int:
+    """Parse FASTA files into the queue; returns sequences produced.
+
+    Must be called with the queue already registered for this
+    producer; closes its registration when done (even on error).
+    ``id_offset`` shifts the assigned sequence ids -- concurrent
+    producers use disjoint offset ranges so downstream order is
+    deterministic.
+    """
+    produced = 0
+    try:
+        for path in paths:
+            produced += _emit_batches(
+                ((r.header, r.sequence) for r in read_fasta(path)),
+                out,
+                batch_size,
+                id_offset + produced,
+            )
+    finally:
+        out.close_producer()
+    return produced
+
+
+def fastq_producer(
+    paths: Sequence[str | os.PathLike],
+    out: ClosableQueue,
+    batch_size: int = 256,
+) -> int:
+    """Parse FASTQ files into the queue; returns reads produced."""
+    produced = 0
+    try:
+        for path in paths:
+            produced += _emit_batches(
+                ((r.header, r.sequence) for r in read_fastq(path)),
+                out,
+                batch_size,
+                produced,
+            )
+    finally:
+        out.close_producer()
+    return produced
+
+
+def sequence_producer(
+    records: Iterable[tuple[str, str]],
+    out: ClosableQueue,
+    batch_size: int = 64,
+) -> int:
+    """In-memory producer for already-parsed (header, sequence) pairs."""
+    try:
+        return _emit_batches(records, out, batch_size, 0)
+    finally:
+        out.close_producer()

@@ -1,0 +1,59 @@
+"""Bounded concurrent queue with explicit end-of-stream semantics.
+
+A thin layer over :class:`queue.Queue` adding the close() protocol
+the pipeline needs: producers close the queue when the input is
+exhausted, consumers iterate until they observe the close *and* the
+queue has drained.  Multiple producers are supported by reference
+counting registered producers.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["ClosableQueue"]
+
+
+class ClosableQueue:
+    """Bounded FIFO supporting N producers and M consumers."""
+
+    _SENTINEL = object()
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self._producers = 0
+        self._closed = False
+
+    def register_producer(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue already fully closed")
+            self._producers += 1
+
+    def put(self, item) -> None:
+        self._queue.put(item)
+
+    def close_producer(self) -> None:
+        """Called once by each producer; the last close ends the stream."""
+        with self._lock:
+            self._producers -= 1
+            if self._producers < 0:
+                raise RuntimeError("close_producer() without register_producer()")
+            if self._producers == 0:
+                self._closed = True
+                self._queue.put(self._SENTINEL)
+
+    def __iter__(self) -> Iterator:
+        """Consume until end-of-stream; safe for multiple consumers."""
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                # propagate to sibling consumers, then stop
+                self._queue.put(self._SENTINEL)
+                return
+            yield item

@@ -1,0 +1,34 @@
+"""Sorting substrate: bitonic networks, segmented sort, compaction.
+
+Section 5.5: the GPU pipeline sorts the per-read location lists with a
+key-only segmented sort modeled on Hou et al. [12] -- multiple kernels,
+each tailored to a range of segment sizes, all built on bitonic
+sorting networks executed in registers.  Our vectorized analogue bins
+segments by size class, lays each bin out as a padded matrix, and runs
+the bitonic network across whole matrix columns (one compare-exchange
+step = two fancy-indexed vector ops over *all* segments of the bin).
+
+:mod:`repro.sort.compaction` provides the prefix-sum compaction of
+Section 5.4 that densifies sparse per-window query results before
+sorting.
+"""
+
+from repro.sort.bitonic import bitonic_sort_rows, bitonic_compare_exchange_steps
+from repro.sort.segmented import (
+    segmented_sort,
+    segmented_sort_reference,
+    segmented_sort_lexsort,
+    SegmentedSortPlan,
+)
+from repro.sort.compaction import compact_rows, read_segment_offsets
+
+__all__ = [
+    "bitonic_sort_rows",
+    "bitonic_compare_exchange_steps",
+    "segmented_sort",
+    "segmented_sort_reference",
+    "segmented_sort_lexsort",
+    "SegmentedSortPlan",
+    "compact_rows",
+    "read_segment_offsets",
+]

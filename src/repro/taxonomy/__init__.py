@@ -1,0 +1,34 @@
+"""Taxonomy substrate: tree, ranks, lineages, constant-time LCA.
+
+MetaCache builds a taxonomic tree from NCBI dump files, links every
+reference target to a node, and during classification computes lowest
+common ancestors in constant time via a precomputed acceleration
+structure (Section 4.2).  This package implements all of that:
+
+- :mod:`repro.taxonomy.ranks` -- the canonical rank ladder.
+- :mod:`repro.taxonomy.tree` -- the tree itself.
+- :mod:`repro.taxonomy.lineage` -- ranked lineages per taxon.
+- :mod:`repro.taxonomy.lca` -- Euler-tour + sparse-table RMQ giving
+  O(1) pairwise LCA (the paper's "acceleration structure").
+- :mod:`repro.taxonomy.ncbi` -- ``nodes.dmp``/``names.dmp`` IO.
+- :mod:`repro.taxonomy.builder` -- synthetic taxonomies for the
+  simulated genome collections.
+"""
+
+from repro.taxonomy.ranks import Rank
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+from repro.taxonomy.lca import LcaIndex
+from repro.taxonomy.lineage import RankedLineages
+from repro.taxonomy.ncbi import load_ncbi_dump, write_ncbi_dump
+from repro.taxonomy.builder import build_taxonomy_for_genomes
+
+__all__ = [
+    "Rank",
+    "Taxonomy",
+    "TaxonomyError",
+    "LcaIndex",
+    "RankedLineages",
+    "load_ncbi_dump",
+    "write_ncbi_dump",
+    "build_taxonomy_for_genomes",
+]

@@ -1,0 +1,126 @@
+"""Constant-time lowest-common-ancestor queries.
+
+Section 4.2: "an acceleration structure is generated from the
+taxonomic tree ... allowing to compute the lowest common ancestor of
+two taxa in constant time during classification."  The textbook way
+to get O(1) LCA is an Euler tour of the tree plus a sparse-table
+range-minimum structure over tour depths; that is what we build.
+
+Construction is O(n log n) space/time, each query O(1).  A vectorized
+batch query is provided because the classifier resolves LCAs for
+whole batches of ambiguous reads at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["LcaIndex"]
+
+
+class LcaIndex:
+    """Euler-tour sparse-table LCA over a :class:`Taxonomy`."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        n = len(taxonomy)
+        children = [[] for _ in range(n)]
+        for i, p in enumerate(taxonomy.parent_index):
+            if i != taxonomy.root_index:
+                children[int(p)].append(i)
+
+        # Iterative Euler tour recording (node, depth) at every visit.
+        tour_nodes = np.empty(2 * n - 1 if n > 0 else 0, dtype=np.int64)
+        tour_depths = np.empty_like(tour_nodes)
+        first_visit = np.full(n, -1, dtype=np.int64)
+        pos = 0
+        # Stack of (node, child cursor, depth)
+        stack: list[list[int]] = [[taxonomy.root_index, 0, 0]]
+        while stack:
+            node, cursor, depth = stack[-1]
+            if cursor == 0:
+                first_visit[node] = pos
+            tour_nodes[pos] = node
+            tour_depths[pos] = depth
+            pos += 1
+            if cursor < len(children[node]):
+                stack[-1][1] += 1
+                stack.append([children[node][cursor], 0, depth + 1])
+            else:
+                stack.pop()
+        assert pos == tour_nodes.size, "Euler tour length mismatch"
+        self._tour_nodes = tour_nodes
+        self._first = first_visit
+
+        # Sparse table of argmin over tour depths.
+        m = tour_depths.size
+        levels = max(1, int(np.floor(np.log2(max(m, 1)))) + 1)
+        table = np.empty((levels, m), dtype=np.int64)
+        table[0] = np.arange(m)
+        depths = tour_depths
+        for lvl in range(1, levels):
+            span = 1 << lvl
+            half = span >> 1
+            width = m - span + 1
+            if width <= 0:
+                table = table[:lvl]
+                break
+            left = table[lvl - 1, :width]
+            right = table[lvl - 1, half : half + width]
+            take_right = depths[right] < depths[left]
+            table[lvl, :width] = np.where(take_right, right, left)
+        self._table = table
+        self._depths = depths
+        # log2 lookup for O(1) level selection
+        self._log2 = np.zeros(m + 1, dtype=np.int64)
+        for i in range(2, m + 1):
+            self._log2[i] = self._log2[i >> 1] + 1
+
+    def lca(self, a: int, b: int) -> int:
+        """LCA of two taxon ids (O(1))."""
+        ia = self.taxonomy.index_of(a)
+        ib = self.taxonomy.index_of(b)
+        return self.taxonomy.id_of(self._lca_dense(ia, ib))
+
+    def _lca_dense(self, ia: int, ib: int) -> int:
+        l, r = int(self._first[ia]), int(self._first[ib])
+        if l > r:
+            l, r = r, l
+        lvl = int(self._log2[r - l + 1])
+        span = 1 << lvl
+        c1 = int(self._table[lvl, l])
+        c2 = int(self._table[lvl, r - span + 1])
+        best = c2 if self._depths[c2] < self._depths[c1] else c1
+        return int(self._tour_nodes[best])
+
+    def lca_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized pairwise LCA over arrays of *dense indices*.
+
+        Used by the classifier's batch path; convert ids with
+        ``taxonomy.index_of`` first (the classifier keeps everything
+        dense internally).
+        """
+        ia = np.asarray(a, dtype=np.int64)
+        ib = np.asarray(b, dtype=np.int64)
+        l = self._first[ia]
+        r = self._first[ib]
+        lo = np.minimum(l, r)
+        hi = np.maximum(l, r)
+        lvl = self._log2[hi - lo + 1]
+        span = (np.int64(1) << lvl).astype(np.int64)
+        c1 = self._table[lvl, lo]
+        c2 = self._table[lvl, hi - span + 1]
+        best = np.where(self._depths[c2] < self._depths[c1], c2, c1)
+        return self._tour_nodes[best]
+
+    def lca_of_set(self, taxon_ids: np.ndarray | list[int]) -> int:
+        """LCA of a whole set of taxon ids (fold over pairwise LCA)."""
+        ids = list(taxon_ids)
+        if not ids:
+            raise ValueError("lca_of_set of empty set")
+        acc = self.taxonomy.index_of(int(ids[0]))
+        for t in ids[1:]:
+            acc = self._lca_dense(acc, self.taxonomy.index_of(int(t)))
+        return self.taxonomy.id_of(acc)

@@ -1,0 +1,72 @@
+"""NCBI taxonomy dump IO (``nodes.dmp`` / ``names.dmp``).
+
+MetaCache consumes the standard NCBI dump format; we parse and write
+the same pipe-delimited layout so that (a) real dumps could be loaded
+unchanged and (b) the simulators can persist their synthetic
+taxonomies for the file-based pipeline tests.
+
+Format (fields separated by ``\\t|\\t``, rows ending ``\\t|``):
+
+- ``nodes.dmp``: tax_id | parent tax_id | rank | ...
+- ``names.dmp``: tax_id | name_txt | unique name | name class
+  (only rows with class ``scientific name`` are used).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.taxonomy.ranks import Rank
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["load_ncbi_dump", "write_ncbi_dump"]
+
+
+def _parse_dmp_line(line: str) -> list[str]:
+    line = line.rstrip("\n")
+    if line.endswith("\t|"):
+        line = line[:-2]
+    return [f.strip() for f in line.split("\t|\t")]
+
+
+def load_ncbi_dump(nodes_path: str | os.PathLike, names_path: str | os.PathLike) -> Taxonomy:
+    """Build a :class:`Taxonomy` from NCBI nodes.dmp + names.dmp."""
+    names: dict[int, str] = {}
+    with open(names_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            fields = _parse_dmp_line(line)
+            if len(fields) >= 4 and fields[3] == "scientific name":
+                names[int(fields[0])] = fields[1]
+    nodes: list[tuple[int, int, Rank, str]] = []
+    with open(nodes_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            fields = _parse_dmp_line(line)
+            if len(fields) < 3:
+                continue
+            tid = int(fields[0])
+            parent = int(fields[1])
+            try:
+                rank = Rank.from_name(fields[2])
+            except ValueError:
+                rank = Rank.SEQUENCE  # unknown intermediate ranks -> 'no rank'
+            if tid == parent:
+                rank = Rank.ROOT
+            nodes.append((tid, parent, rank, names.get(tid, f"taxon {tid}")))
+    return Taxonomy(nodes)
+
+
+def write_ncbi_dump(
+    taxonomy: Taxonomy,
+    nodes_path: str | os.PathLike,
+    names_path: str | os.PathLike,
+) -> None:
+    """Persist a taxonomy in NCBI dump format (inverse of load)."""
+    with open(nodes_path, "w", encoding="utf-8") as nf:
+        for i, tid in enumerate(taxonomy.ids):
+            parent = taxonomy.ids[taxonomy.parent_index[i]]
+            rank = Rank(int(taxonomy.ranks[i]))
+            nf.write(f"{int(tid)}\t|\t{int(parent)}\t|\t{rank.ncbi_name()}\t|\n")
+    with open(names_path, "w", encoding="utf-8") as mf:
+        for i, tid in enumerate(taxonomy.ids):
+            name = taxonomy.names[i]
+            mf.write(f"{int(tid)}\t|\t{name}\t|\t\t|\tscientific name\t|\n")

@@ -1,0 +1,57 @@
+"""The canonical taxonomic rank ladder.
+
+Ranks are ordered from most specific (``SEQUENCE``, the per-target
+pseudo-rank MetaCache uses for individual reference sequences) to the
+root.  Integer values grow toward the root so "coarser than" is a
+plain ``>`` comparison, which the classification rule and the
+accuracy evaluation both rely on.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Rank"]
+
+
+class Rank(IntEnum):
+    """Taxonomic ranks, most-specific first."""
+
+    SEQUENCE = 0  # individual reference target (MetaCache's 'sequence' level)
+    SUBSPECIES = 1
+    SPECIES = 2
+    GENUS = 3
+    FAMILY = 4
+    ORDER = 5
+    CLASS = 6
+    PHYLUM = 7
+    KINGDOM = 8
+    DOMAIN = 9
+    ROOT = 10
+
+    @classmethod
+    def from_name(cls, name: str) -> "Rank":
+        """Parse NCBI-style rank strings ('no rank' maps to SEQUENCE)."""
+        normalized = name.strip().lower().replace(" ", "_")
+        aliases = {
+            "superkingdom": "DOMAIN",
+            "no_rank": "SEQUENCE",
+            "strain": "SUBSPECIES",
+        }
+        key = aliases.get(normalized, normalized.upper())
+        try:
+            return cls[key]
+        except KeyError:
+            raise ValueError(f"unknown rank name: {name!r}") from None
+
+    def ncbi_name(self) -> str:
+        """Render as the string NCBI dump files use."""
+        if self is Rank.DOMAIN:
+            return "superkingdom"
+        if self is Rank.SEQUENCE:
+            return "no rank"
+        return self.name.lower()
+
+    def coarser(self) -> "Rank":
+        """The next rank toward the root (ROOT maps to itself)."""
+        return Rank(min(self.value + 1, Rank.ROOT.value))

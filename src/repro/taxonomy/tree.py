@@ -1,0 +1,179 @@
+"""The taxonomy tree.
+
+Stores the node set in struct-of-arrays form (ids, parents, ranks,
+names) with a dict for id -> dense-index resolution.  All per-node
+queries are O(1); whole-tree traversals are vectorized where possible.
+The root is its own parent, following the NCBI ``nodes.dmp``
+convention (taxid 1 has parent 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.taxonomy.ranks import Rank
+
+__all__ = ["Taxonomy", "TaxonomyError"]
+
+
+class TaxonomyError(ValueError):
+    """Raised on malformed taxonomies (cycles, orphans, duplicates)."""
+
+
+class Taxonomy:
+    """Immutable-after-construction taxonomy tree.
+
+    Parameters
+    ----------
+    nodes:
+        iterable of ``(taxon_id, parent_id, rank, name)`` tuples.
+        Exactly one node must be its own parent (the root).
+    """
+
+    def __init__(self, nodes: Iterable[tuple[int, int, Rank, str]]) -> None:
+        entries = list(nodes)
+        if not entries:
+            raise TaxonomyError("taxonomy must contain at least a root node")
+        self.ids = np.array([e[0] for e in entries], dtype=np.int64)
+        parents_by_id = np.array([e[1] for e in entries], dtype=np.int64)
+        self.ranks = np.array([int(e[2]) for e in entries], dtype=np.int8)
+        self.names = [e[3] for e in entries]
+        self._index: dict[int, int] = {}
+        for i, tid in enumerate(self.ids):
+            if int(tid) in self._index:
+                raise TaxonomyError(f"duplicate taxon id {int(tid)}")
+            self._index[int(tid)] = i
+
+        roots = [i for i, e in enumerate(entries) if e[0] == e[1]]
+        if len(roots) != 1:
+            raise TaxonomyError(f"expected exactly one root, found {len(roots)}")
+        self.root_index = roots[0]
+        self.root_id = int(self.ids[self.root_index])
+
+        # parent as dense index
+        try:
+            self.parent_index = np.array(
+                [self._index[int(p)] for p in parents_by_id], dtype=np.int64
+            )
+        except KeyError as exc:
+            raise TaxonomyError(f"parent taxon {exc.args[0]} not in taxonomy") from None
+
+        self._validate_acyclic()
+        self._depths = self._compute_depths()
+
+    # -- construction checks -------------------------------------------------
+
+    def _validate_acyclic(self) -> None:
+        """Every node must reach the root; detects cycles and orphans."""
+        n = len(self.ids)
+        state = np.zeros(n, dtype=np.int8)  # 0 unknown, 1 ok
+        state[self.root_index] = 1
+        for i in range(n):
+            path = []
+            j = i
+            while state[j] == 0:
+                path.append(j)
+                j = int(self.parent_index[j])
+                if len(path) > n:
+                    raise TaxonomyError("cycle detected in taxonomy")
+            for p in path:
+                state[p] = 1
+
+    def _compute_depths(self) -> np.ndarray:
+        n = len(self.ids)
+        depths = np.full(n, -1, dtype=np.int64)
+        depths[self.root_index] = 0
+        for i in range(n):
+            path = []
+            j = i
+            while depths[j] < 0:
+                path.append(j)
+                j = int(self.parent_index[j])
+            d = int(depths[j])
+            for p in reversed(path):
+                d += 1
+                depths[p] = d
+        return depths
+
+    # -- basic queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, taxon_id: int) -> bool:
+        return int(taxon_id) in self._index
+
+    def index_of(self, taxon_id: int) -> int:
+        """Dense index of a taxon id (KeyError if absent)."""
+        return self._index[int(taxon_id)]
+
+    def id_of(self, index: int) -> int:
+        return int(self.ids[index])
+
+    def parent_id(self, taxon_id: int) -> int:
+        return int(self.ids[self.parent_index[self.index_of(taxon_id)]])
+
+    def rank_of(self, taxon_id: int) -> Rank:
+        return Rank(int(self.ranks[self.index_of(taxon_id)]))
+
+    def name_of(self, taxon_id: int) -> str:
+        return self.names[self.index_of(taxon_id)]
+
+    def depth_of(self, taxon_id: int) -> int:
+        return int(self._depths[self.index_of(taxon_id)])
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Depth per dense index (root = 0); read-only view."""
+        return self._depths
+
+    def lineage(self, taxon_id: int) -> list[int]:
+        """Taxon ids from the node up to and including the root."""
+        out = []
+        i = self.index_of(taxon_id)
+        while True:
+            out.append(int(self.ids[i]))
+            if i == self.root_index:
+                return out
+            i = int(self.parent_index[i])
+
+    def ancestor_at_rank(self, taxon_id: int, rank: Rank) -> int | None:
+        """First ancestor (or self) at exactly ``rank``; None if absent."""
+        i = self.index_of(taxon_id)
+        while True:
+            if Rank(int(self.ranks[i])) == rank:
+                return int(self.ids[i])
+            if i == self.root_index:
+                return None
+            i = int(self.parent_index[i])
+
+    def lca_naive(self, a: int, b: int) -> int:
+        """Reference LCA by lineage intersection (O(depth)); used to
+        validate the O(1) :class:`repro.taxonomy.lca.LcaIndex`."""
+        seen = set(self.lineage(a))
+        i = self.index_of(b)
+        while True:
+            tid = int(self.ids[i])
+            if tid in seen:
+                return tid
+            if i == self.root_index:
+                return self.root_id
+            i = int(self.parent_index[i])
+
+    def iter_ids(self) -> Iterator[int]:
+        for tid in self.ids:
+            yield int(tid)
+
+    def children_map(self) -> dict[int, list[int]]:
+        """taxon_id -> list of child taxon ids (root excluded from own)."""
+        out: dict[int, list[int]] = {int(t): [] for t in self.ids}
+        for i, p in enumerate(self.parent_index):
+            if i != self.root_index:
+                out[int(self.ids[p])].append(int(self.ids[i]))
+        return out
+
+    def taxa_at_rank(self, rank: Rank) -> list[int]:
+        mask = self.ranks == np.int8(int(rank))
+        return [int(t) for t in self.ids[mask]]

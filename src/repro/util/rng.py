@@ -1,0 +1,38 @@
+"""Deterministic random-stream derivation.
+
+All simulators (genomes, reads, taxonomies) take a seed or Generator;
+``derive_rng`` spawns stable sub-streams keyed by strings so that e.g.
+the read simulator for "HiSeq" never changes when an unrelated
+workload is added.  Determinism matters: the accuracy tables must be
+byte-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_rng"]
+
+
+def derive_rng(seed: int | np.random.Generator, *keys: object) -> np.random.Generator:
+    """Return a Generator deterministically derived from seed + keys.
+
+    If ``seed`` is already a Generator it is returned unchanged when no
+    keys are given, otherwise a child stream is derived from fresh
+    entropy hashed together with the keys (stable across processes).
+    """
+    if isinstance(seed, np.random.Generator):
+        if not keys:
+            return seed
+        base = int(seed.bit_generator.seed_seq.entropy or 0)  # type: ignore[union-attr]
+    else:
+        base = int(seed)
+        if not keys:
+            return np.random.default_rng(base)
+    digest = hashlib.sha256(
+        (str(base) + "|" + "|".join(map(str, keys))).encode()
+    ).digest()
+    child_seed = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(child_seed)

@@ -1,0 +1,131 @@
+"""Segmented (per-group) array primitives.
+
+The GPU query pipeline operates on *batches*: one flat array holding
+the concatenated per-read data plus a parallel array of segment ids
+(or an offsets array).  These helpers provide the segmented analogues
+of reduce / rank / top-k that the kernels need, all without Python
+loops so they stay fast on millions of elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "run_length_encode",
+    "segment_boundaries",
+    "segmented_cumcount",
+    "segment_ids_from_offsets",
+    "offsets_from_segment_ids",
+    "segmented_top_k_mask",
+    "first_occurrence_mask",
+]
+
+
+def run_length_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse runs of equal adjacent elements.
+
+    Returns ``(unique_in_order, counts)``.  Unlike ``np.unique`` the
+    input is *not* sorted first -- only adjacent duplicates merge,
+    which is exactly the semantics of the segmented-reduction step in
+    the top-candidate kernel (the input there is already sorted).
+    """
+    v = np.asarray(values)
+    if v.size == 0:
+        return v[:0], np.zeros(0, dtype=np.int64)
+    new_run = np.empty(v.size, dtype=bool)
+    new_run[0] = True
+    np.not_equal(v[1:], v[:-1], out=new_run[1:])
+    starts = np.flatnonzero(new_run)
+    counts = np.diff(np.append(starts, v.size))
+    return v[starts], counts
+
+
+def segment_boundaries(segment_ids: np.ndarray) -> np.ndarray:
+    """Start indices of each maximal run of equal segment ids."""
+    s = np.asarray(segment_ids)
+    if s.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    new_seg = np.empty(s.size, dtype=bool)
+    new_seg[0] = True
+    np.not_equal(s[1:], s[:-1], out=new_seg[1:])
+    return np.flatnonzero(new_seg)
+
+
+def segmented_cumcount(segment_ids: np.ndarray) -> np.ndarray:
+    """Rank of each element within its (contiguous) segment, 0-based.
+
+    ``segment_ids`` must be grouped (all equal ids adjacent); the ids
+    themselves need not be sorted.
+    """
+    s = np.asarray(segment_ids)
+    if s.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.arange(s.size, dtype=np.int64)
+    starts = segment_boundaries(s)
+    # Broadcast each segment's start index to all of its elements.
+    seg_of = np.cumsum(np.isin(idx, starts, assume_unique=True)) - 1
+    return idx - starts[seg_of]
+
+
+def segment_ids_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Expand an offsets array (len n+1) into per-element segment ids.
+
+    ``offsets[i]:offsets[i+1]`` is segment ``i``; empty segments are
+    allowed and simply produce no elements.
+    """
+    off = np.asarray(offsets, dtype=np.int64)
+    total = int(off[-1])
+    ids = np.zeros(total, dtype=np.int64)
+    lengths = np.diff(off)
+    seg_indices = np.flatnonzero(lengths > 0)
+    if seg_indices.size == 0:
+        return ids
+    starts_ne = off[:-1][seg_indices]
+    # Scatter id *increments* so empty segments are skipped correctly:
+    # after cumsum-1, elements of segment j hold exactly seg_indices[j].
+    increments = np.diff(seg_indices, prepend=np.int64(-1))
+    ids[starts_ne] = increments
+    return np.cumsum(ids) - 1
+
+
+def offsets_from_segment_ids(segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Inverse of :func:`segment_ids_from_offsets` (ids must be sorted)."""
+    s = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(s, minlength=n_segments)
+    off = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    return off
+
+
+def first_occurrence_mask(sorted_values: np.ndarray) -> np.ndarray:
+    """Boolean mask of the first element of each run in a sorted array."""
+    v = np.asarray(sorted_values)
+    if v.size == 0:
+        return np.zeros(0, dtype=bool)
+    mask = np.empty(v.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(v[1:], v[:-1], out=mask[1:])
+    return mask
+
+
+def segmented_top_k_mask(
+    segment_ids: np.ndarray, scores: np.ndarray, k: int
+) -> np.ndarray:
+    """Select up to ``k`` highest-scoring elements per segment.
+
+    Returns a boolean mask over the input.  Ties broken by original
+    index (earlier element wins), mirroring the deterministic register
+    top-list maintained per CUDA thread in the paper's kernel.
+    """
+    s = np.asarray(segment_ids, dtype=np.int64)
+    if s.size == 0:
+        return np.zeros(0, dtype=bool)
+    sc = np.asarray(scores)
+    # Sort by (segment, -score, index); then the first k per segment win.
+    order = np.lexsort((np.arange(s.size), -sc, s))
+    rank = segmented_cumcount(s[order])
+    winners = order[rank < k]
+    mask = np.zeros(s.size, dtype=bool)
+    mask[winners] = True
+    return mask

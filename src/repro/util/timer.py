@@ -1,0 +1,81 @@
+"""Wall-clock instrumentation.
+
+``StageTimer`` accumulates named stage durations; the query pipeline
+uses it to produce the per-stage breakdown of Figure 5 and the bench
+harness uses it for phase timing (build / write / load / query).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """Simple start/stop stopwatch accumulating total elapsed seconds."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Accumulates elapsed time per named stage.
+
+    Stages may be entered repeatedly; durations add up.  ``shares()``
+    normalizes to fractions of the total, which is what Figure 5
+    reports.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured (or simulated) duration."""
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of total time per stage (empty dict if no time)."""
+        tot = self.total
+        if tot <= 0.0:
+            return {}
+        return {name: t / tot for name, t in self.stages.items()}
+
+    def merge(self, other: "StageTimer") -> "StageTimer":
+        for name, t in other.stages.items():
+            self.add(name, t)
+        return self

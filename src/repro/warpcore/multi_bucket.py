@@ -1,0 +1,309 @@
+"""The Multi-Bucket hash table -- the paper's core data structure.
+
+Layout (Fig. 3): every slot holds one key, a value count, and a small
+*fixed* number ``B`` of value cells.  A key may occupy several slots
+along its probe sequence, so it can be associated with an arbitrary
+number of values, yet -- unlike the Bucket List table -- there are no
+pointers to chase and -- unlike the Multi-Value table -- the key is
+stored once per ``B`` values instead of once per value.
+
+Insertion follows the warp-aggregated scheme of Section 5.3 expressed
+batch-wise: each pending (key, value) pair walks the probe sequence;
+at each round it either appends into a slot already owned by its key
+(if space remains), claims an empty slot (one winner per slot per
+round, like the warp electing a leader thread), or moves on.  The
+walk also accumulates how many values of the key it has passed, which
+implements the per-key location cap (254 by default in MetaCache --
+the mechanism whose per-partition application explains the GPU
+accuracy gain in Table 6).
+
+Termination invariant: a key claims slots strictly in probe order and
+only passes *non-empty* slots, and slots are never deleted, so at
+query time the first empty slot in a key's probe sequence proves no
+further slots of that key exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.segmented import segmented_cumcount
+from repro.warpcore.base import EMPTY_KEY, TableStats, sanitize_keys
+from repro.warpcore.probing import ProbingScheme
+
+__all__ = ["MultiBucketHashTable"]
+
+_U64 = np.uint64
+_EMPTY64 = np.uint64(EMPTY_KEY)
+
+
+class MultiBucketHashTable:
+    """Open-addressing multi-value map with fixed-size in-slot buckets.
+
+    Parameters
+    ----------
+    capacity_values:
+        sizing hint: the table allocates enough slots that this many
+        values fit at the target load factor.
+    expected_unique_keys:
+        sizing hint: every distinct key needs at least one slot, so a
+        mostly-unique key stream needs key-count headroom regardless
+        of ``bucket_size``.  Defaults to ``capacity_values`` (safe
+        worst case); pass the measured/estimated distinct-feature
+        count for tight sizing, as the database builder does.
+    bucket_size:
+        values per slot (``B``); the paper's layout knob.
+    group_size:
+        cooperative-group width of the probing scheme.
+    max_load_factor:
+        fraction of slots the table may fill before inserts start
+        failing; sizing uses it as headroom.
+    max_locations_per_key:
+        cap on values stored per key (None = unlimited).  MetaCache
+        defaults to 254 per database partition.
+    """
+
+    def __init__(
+        self,
+        capacity_values: int,
+        bucket_size: int = 4,
+        group_size: int = 4,
+        max_load_factor: float = 0.8,
+        max_locations_per_key: int | None = None,
+        max_probe_rounds: int | None = None,
+        expected_unique_keys: int | None = None,
+    ) -> None:
+        if bucket_size < 1 or bucket_size > 255:
+            raise ValueError("bucket_size must be in [1, 255]")
+        if not 0.05 < max_load_factor <= 1.0:
+            raise ValueError("max_load_factor must be in (0.05, 1]")
+        self.bucket_size = int(bucket_size)
+        self.max_load_factor = float(max_load_factor)
+        self.max_locations_per_key = max_locations_per_key
+        if expected_unique_keys is None:
+            expected_unique_keys = capacity_values
+        min_slots = max(
+            group_size,
+            int(np.ceil(capacity_values / bucket_size / max_load_factor)),
+            int(np.ceil(expected_unique_keys / max_load_factor)),
+        )
+        self.probing = ProbingScheme.for_capacity(
+            min_slots, group_size=group_size, max_probe_rounds=max_probe_rounds
+        )
+        n = self.probing.n_slots
+        self._keys = np.full(n, EMPTY_KEY, dtype=np.uint32)
+        self._counts = np.zeros(n, dtype=np.uint8)
+        self._values = np.zeros((n, bucket_size), dtype=_U64)
+        self._stored = 0
+        self._dropped = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return self.probing.n_slots
+
+    @property
+    def occupied_slots(self) -> int:
+        return int((self._keys != EMPTY_KEY).sum())
+
+    @property
+    def load_factor(self) -> float:
+        return self.occupied_slots / self.n_slots
+
+    @property
+    def stored_values(self) -> int:
+        return self._stored
+
+    @property
+    def dropped_values(self) -> int:
+        """Values discarded by the per-key cap or probe-limit overflow."""
+        return self._dropped
+
+    def stats(self) -> TableStats:
+        return TableStats(
+            capacity_slots=self.n_slots,
+            occupied_slots=self.occupied_slots,
+            stored_values=self._stored,
+            dropped_values=self._dropped,
+            bytes_keys=self._keys.nbytes,
+            bytes_values=self._values.nbytes,
+            bytes_metadata=self._counts.nbytes,
+        )
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> int:
+        """Batch-insert (key, value) pairs; returns number stored.
+
+        Pairs whose key exceeds its location cap, or that cannot be
+        placed within the probe limit, are dropped (counted in
+        :attr:`dropped_values`) -- matching the GPU code, which cannot
+        grow the statically allocated table (Section 5.1).
+        """
+        pkeys = sanitize_keys(keys)
+        pvals = np.asarray(values, dtype=_U64)
+        if pkeys.shape != pvals.shape:
+            raise ValueError("keys and values must have the same shape")
+        if pkeys.size == 0:
+            return 0
+        # Keep original submission order within each key: stable sort
+        # groups duplicates while preserving value order.
+        order = np.argsort(pkeys, kind="stable")
+        pkeys = pkeys[order]
+        pvals = pvals[order]
+        rounds = np.zeros(pkeys.size, dtype=np.int64)
+        seen = np.zeros(pkeys.size, dtype=np.int64)  # values of this key passed
+        stored_before = self._stored
+        cap = self.max_locations_per_key
+        B = self.bucket_size
+        max_rounds = self.probing.max_probe_rounds
+
+        while pkeys.size:
+            # Pairs whose key already stores >= cap values can never be
+            # placed; drop them before they claim zombie slots.
+            if cap is not None:
+                over = seen >= cap
+                if over.any():
+                    self._dropped += int(over.sum())
+                    keep = ~over
+                    pkeys, pvals = pkeys[keep], pvals[keep]
+                    rounds, seen = rounds[keep], seen[keep]
+                    if pkeys.size == 0:
+                        break
+
+            slots = self.probing.slots_for_round(pkeys, rounds)
+            table_keys = self._keys[slots].astype(_U64)
+
+            # -- claim: one winner key per empty slot (warp leader election)
+            empty = table_keys == _EMPTY64
+            if empty.any():
+                cand = np.flatnonzero(empty)
+                _, first_idx = np.unique(slots[cand], return_index=True)
+                winners = cand[first_idx]
+                self._keys[slots[winners]] = pkeys[winners].astype(np.uint32)
+                table_keys = self._keys[slots].astype(_U64)
+
+            match = table_keys == pkeys
+            done = np.zeros(pkeys.size, dtype=bool)
+            if match.any():
+                midx = np.flatnonzero(match)
+                # group by slot; rank within slot decides who fits
+                grp = np.argsort(slots[midx], kind="stable")
+                midx = midx[grp]
+                mslots = slots[midx]
+                rank = segmented_cumcount(mslots)
+                cur = self._counts[mslots].astype(np.int64)
+                fits = rank < (B - cur)
+                dropped = np.zeros(midx.size, dtype=bool)
+                if cap is not None:
+                    # exact future position of this value within its key:
+                    # values in passed slots + in this slot + queued ahead
+                    over_cap = (seen[midx] + cur + rank) >= cap
+                    dropped = over_cap
+                    fits &= ~over_cap
+                    if dropped.any():
+                        self._dropped += int(dropped.sum())
+                        done[midx[dropped]] = True
+                if fits.any():
+                    aslots = mslots[fits]
+                    apos = cur[fits] + rank[fits]
+                    self._values[aslots, apos] = pvals[midx[fits]]
+                    uniq, cnts = np.unique(aslots, return_counts=True)
+                    self._counts[uniq] += cnts.astype(np.uint8)
+                    self._stored += int(fits.sum())
+                    done[midx[fits]] = True
+                # matched but neither stored nor dropped: the slot is
+                # (now) full -- record the B values of our key we pass
+                rejected = ~fits & ~dropped
+                if rejected.any():
+                    seen[midx[rejected]] += B
+
+            rounds += 1
+            alive = ~done
+            exhausted = alive & (rounds >= max_rounds)
+            if exhausted.any():
+                self._dropped += int(exhausted.sum())
+                alive &= ~exhausted
+            pkeys, pvals = pkeys[alive], pvals[alive]
+            rounds, seen = rounds[alive], seen[alive]
+        return self._stored - stored_before
+
+    # -- retrieval -----------------------------------------------------------
+
+    def retrieve(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch lookup: all values for each query key.
+
+        Returns ``(values, offsets)`` where query ``i``'s values are
+        ``values[offsets[i]:offsets[i+1]]``, ordered by probe round
+        (i.e., insertion-slot order).
+        """
+        qkeys = sanitize_keys(keys)
+        n = qkeys.size
+        hit_q: list[np.ndarray] = []
+        hit_slots: list[np.ndarray] = []
+        if n:
+            active = np.arange(n, dtype=np.int64)
+            akeys = qkeys.copy()
+            rounds = np.zeros(n, dtype=np.int64)
+            max_rounds = self.probing.max_probe_rounds
+            while active.size:
+                slots = self.probing.slots_for_round(akeys, rounds)
+                table_keys = self._keys[slots].astype(_U64)
+                match = table_keys == akeys
+                if match.any():
+                    hit_q.append(active[match])
+                    hit_slots.append(slots[match])
+                # continue while not empty (key may own later slots)
+                cont = table_keys != _EMPTY64
+                rounds += 1
+                cont &= rounds < max_rounds
+                active = active[cont]
+                akeys = akeys[cont]
+                rounds = rounds[cont]
+        if hit_q:
+            q = np.concatenate(hit_q)
+            s = np.concatenate(hit_slots)
+        else:
+            q = np.zeros(0, dtype=np.int64)
+            s = np.zeros(0, dtype=np.int64)
+        # stable sort by query restores (query, round) order
+        order = np.argsort(q, kind="stable")
+        q = q[order]
+        s = s[order]
+        counts = self._counts[s].astype(np.int64)
+        per_query = np.bincount(q, weights=counts, minlength=n).astype(np.int64)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(per_query, out=offsets[1:])
+        total = int(offsets[-1])
+        out = np.empty(total, dtype=_U64)
+        if total:
+            # gather slot value cells row-wise, masked by count
+            B = self.bucket_size
+            cell = np.arange(B, dtype=np.int64)
+            take = cell[None, :] < counts[:, None]
+            out[:] = self._values[s][take]
+        return out, offsets
+
+    def retrieve_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Number of stored values per query key (no value gather)."""
+        _, offsets = self.retrieve(keys)
+        return np.diff(offsets)
+
+    # -- introspection helpers (tests / benches) ------------------------------
+
+    def occupied_keys(self) -> np.ndarray:
+        """Sorted distinct keys present in the table (uint64)."""
+        occ = self._keys[self._keys != EMPTY_KEY]
+        return np.unique(occ).astype(_U64)
+
+    def key_slot_histogram(self) -> dict[int, int]:
+        """#slots-per-key distribution: how often keys spill over."""
+        occ = self._keys[self._keys != EMPTY_KEY]
+        if occ.size == 0:
+            return {}
+        _, counts = np.unique(occ, return_counts=True)
+        hist: dict[int, int] = {}
+        for c in counts:
+            hist[int(c)] = hist.get(int(c), 0) + 1
+        return hist

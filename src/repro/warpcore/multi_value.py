@@ -1,0 +1,165 @@
+"""Multi-value hash table: one key-value pair per slot.
+
+WarpCore's multi-value baseline (Section 5.1): every slot stores one
+(key, value) pair, so a key with ``n`` values occupies ``n`` slots and
+the key is physically duplicated ``n`` times.  Simple and fast, but
+memory-hungry on skewed k-mer distributions -- the comparison that
+motivates the paper's multi-bucket layout.
+
+Implemented as a thin reinterpretation of the multi-bucket machinery
+with ``bucket_size=1`` *without* the count byte (a 1-wide bucket is
+full exactly when its key is set), keeping the memory accounting
+faithful to the original layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.warpcore.base import EMPTY_KEY, TableStats, sanitize_keys
+from repro.warpcore.probing import ProbingScheme
+
+__all__ = ["MultiValueHashTable"]
+
+_U64 = np.uint64
+_EMPTY64 = np.uint64(EMPTY_KEY)
+
+
+class MultiValueHashTable:
+    """Open-addressing multimap, one value per slot."""
+
+    def __init__(
+        self,
+        capacity_values: int,
+        group_size: int = 4,
+        max_load_factor: float = 0.8,
+        max_locations_per_key: int | None = None,
+        max_probe_rounds: int | None = None,
+    ) -> None:
+        if not 0.05 < max_load_factor <= 1.0:
+            raise ValueError("max_load_factor must be in (0.05, 1]")
+        self.max_locations_per_key = max_locations_per_key
+        min_slots = max(group_size, int(np.ceil(capacity_values / max_load_factor)))
+        self.probing = ProbingScheme.for_capacity(
+            min_slots, group_size=group_size, max_probe_rounds=max_probe_rounds
+        )
+        n = self.probing.n_slots
+        self._keys = np.full(n, EMPTY_KEY, dtype=np.uint32)
+        self._values = np.zeros(n, dtype=_U64)
+        self._stored = 0
+        self._dropped = 0
+
+    @property
+    def n_slots(self) -> int:
+        return self.probing.n_slots
+
+    @property
+    def stored_values(self) -> int:
+        return self._stored
+
+    @property
+    def dropped_values(self) -> int:
+        return self._dropped
+
+    @property
+    def load_factor(self) -> float:
+        return self._stored / self.n_slots
+
+    def stats(self) -> TableStats:
+        return TableStats(
+            capacity_slots=self.n_slots,
+            occupied_slots=self._stored,
+            stored_values=self._stored,
+            dropped_values=self._dropped,
+            bytes_keys=self._keys.nbytes,
+            bytes_values=self._values.nbytes,
+            bytes_metadata=0,
+        )
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> int:
+        """Batch insert; every pair claims its own slot."""
+        pkeys = sanitize_keys(keys)
+        pvals = np.asarray(values, dtype=_U64)
+        if pkeys.shape != pvals.shape:
+            raise ValueError("keys and values must have the same shape")
+        if pkeys.size == 0:
+            return 0
+        order = np.argsort(pkeys, kind="stable")
+        pkeys, pvals = pkeys[order], pvals[order]
+        rounds = np.zeros(pkeys.size, dtype=np.int64)
+        seen = np.zeros(pkeys.size, dtype=np.int64)
+        stored_before = self._stored
+        cap = self.max_locations_per_key
+        max_rounds = self.probing.max_probe_rounds
+        while pkeys.size:
+            if cap is not None:
+                over = seen >= cap
+                if over.any():
+                    self._dropped += int(over.sum())
+                    keep = ~over
+                    pkeys, pvals = pkeys[keep], pvals[keep]
+                    rounds, seen = rounds[keep], seen[keep]
+                    if pkeys.size == 0:
+                        break
+            slots = self.probing.slots_for_round(pkeys, rounds)
+            table_keys = self._keys[slots].astype(_U64)
+            empty = table_keys == _EMPTY64
+            done = np.zeros(pkeys.size, dtype=bool)
+            if empty.any():
+                cand = np.flatnonzero(empty)
+                _, first_idx = np.unique(slots[cand], return_index=True)
+                winners = cand[first_idx]
+                self._keys[slots[winners]] = pkeys[winners].astype(np.uint32)
+                self._values[slots[winners]] = pvals[winners]
+                self._stored += winners.size
+                done[winners] = True
+            # every pair passing a slot owned by its key counts it
+            # toward the per-key cap (same-key pairs serialize: they
+            # share the probe sequence, so one claims per round)
+            match_pass = (~done) & (self._keys[slots].astype(_U64) == pkeys)
+            if match_pass.any():
+                seen[match_pass] += 1
+            rounds += 1
+            alive = ~done
+            exhausted = alive & (rounds >= max_rounds)
+            if exhausted.any():
+                self._dropped += int(exhausted.sum())
+                alive &= ~exhausted
+            pkeys, pvals = pkeys[alive], pvals[alive]
+            rounds, seen = rounds[alive], seen[alive]
+        return self._stored - stored_before
+
+    def retrieve(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch lookup of all values per key: ``(values, offsets)``."""
+        qkeys = sanitize_keys(keys)
+        n = qkeys.size
+        hit_q: list[np.ndarray] = []
+        hit_slots: list[np.ndarray] = []
+        if n:
+            active = np.arange(n, dtype=np.int64)
+            akeys = qkeys.copy()
+            rounds = np.zeros(n, dtype=np.int64)
+            max_rounds = self.probing.max_probe_rounds
+            while active.size:
+                slots = self.probing.slots_for_round(akeys, rounds)
+                table_keys = self._keys[slots].astype(_U64)
+                match = table_keys == akeys
+                if match.any():
+                    hit_q.append(active[match])
+                    hit_slots.append(slots[match])
+                cont = table_keys != _EMPTY64
+                rounds += 1
+                cont &= rounds < max_rounds
+                active, akeys, rounds = active[cont], akeys[cont], rounds[cont]
+        if hit_q:
+            q = np.concatenate(hit_q)
+            s = np.concatenate(hit_slots)
+        else:
+            q = np.zeros(0, dtype=np.int64)
+            s = np.zeros(0, dtype=np.int64)
+        order = np.argsort(q, kind="stable")
+        q, s = q[order], s[order]
+        per_query = np.bincount(q, minlength=n).astype(np.int64)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(per_query, out=offsets[1:])
+        return self._values[s], offsets

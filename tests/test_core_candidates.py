@@ -1,0 +1,221 @@
+"""Tests for top-candidate generation (batch + properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import Candidates, generate_top_candidates
+from repro.util.bitops import pack_pairs
+
+
+def loc(t, w):
+    return pack_pairs(np.array([t], dtype=np.uint64), np.array([w], dtype=np.uint64))[0]
+
+
+def make_locations(entries):
+    """entries: list of (target, window) possibly repeated, one read."""
+    arr = np.array(
+        [loc(t, w) for t, w in entries],
+        dtype=np.uint64,
+    )
+    return np.sort(arr)
+
+
+class TestSingleRead:
+    def run(self, entries, sws=3, m=4):
+        locations = make_locations(entries)
+        offsets = np.array([0, locations.size])
+        return generate_top_candidates(locations, offsets, sws, m)
+
+    def test_single_hit(self):
+        c = self.run([(2, 5)])
+        assert c.valid[0, 0]
+        assert c.target[0, 0] == 2
+        assert c.score[0, 0] == 1
+        assert c.window_first[0, 0] == 5 and c.window_last[0, 0] == 5
+
+    def test_accumulates_identical_locations(self):
+        c = self.run([(2, 5)] * 4)
+        assert c.score[0, 0] == 4
+
+    def test_sliding_window_aggregates_contiguous(self):
+        # windows 5,6,7 within sws=3 -> one region scoring 6
+        c = self.run([(1, 5)] * 3 + [(1, 6)] * 2 + [(1, 7)], sws=3)
+        assert c.score[0, 0] == 6
+        assert c.window_first[0, 0] == 5
+        assert c.window_last[0, 0] == 7
+
+    def test_sliding_window_respects_sws(self):
+        # windows 5 and 9 can't combine with sws=3
+        c = self.run([(1, 5)] * 3 + [(1, 9)] * 2, sws=3)
+        assert c.score[0, 0] == 3
+        assert c.score[0, 1] == 0  # same target: only best range reported
+
+    def test_different_targets_ranked(self):
+        c = self.run([(1, 0)] * 5 + [(2, 0)] * 3 + [(3, 0)] * 7)
+        assert c.target[0, 0] == 3 and c.score[0, 0] == 7
+        assert c.target[0, 1] == 1 and c.score[0, 1] == 5
+        assert c.target[0, 2] == 2 and c.score[0, 2] == 3
+
+    def test_top_m_truncates(self):
+        c = self.run([(t, 0) for t in range(10)], m=2)
+        assert c.valid[0].sum() == 2
+
+    def test_windows_across_targets_do_not_merge(self):
+        c = self.run([(1, 5), (2, 6)], sws=5)
+        assert c.score[0, 0] == 1
+
+    def test_empty_read(self):
+        c = generate_top_candidates(
+            np.zeros(0, dtype=np.uint64), np.array([0, 0]), 3, 4
+        )
+        assert not c.valid[0].any()
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            generate_top_candidates(np.zeros(0, dtype=np.uint64), np.array([0]), 3, 0)
+
+
+class TestMultiRead:
+    def test_reads_independent(self):
+        l1 = make_locations([(1, 0)] * 3)
+        l2 = make_locations([(2, 7)] * 5)
+        locations = np.concatenate([l1, l2])
+        offsets = np.array([0, 3, 8])
+        c = generate_top_candidates(locations, offsets, 3, 4)
+        assert c.target[0, 0] == 1 and c.score[0, 0] == 3
+        assert c.target[1, 0] == 2 and c.score[1, 0] == 5
+
+    def test_per_read_sws(self):
+        base = [(1, 0)] * 2 + [(1, 1)] * 2
+        l = make_locations(base)
+        locations = np.concatenate([l, l])
+        offsets = np.array([0, 4, 8])
+        c = generate_top_candidates(locations, offsets, np.array([1, 2]), 4)
+        assert c.score[0, 0] == 2  # sws=1: windows can't merge
+        assert c.score[1, 0] == 4  # sws=2: they can
+
+    def test_empty_middle_read(self):
+        l1 = make_locations([(1, 0)])
+        l3 = make_locations([(2, 0)])
+        locations = np.concatenate([l1, l3])
+        offsets = np.array([0, 1, 1, 2])
+        c = generate_top_candidates(locations, offsets, 2, 2)
+        assert c.valid[0, 0] and not c.valid[1].any() and c.valid[2, 0]
+
+
+def reference_candidates(locations, sws, m):
+    """Brute-force per-read reference implementation."""
+    from repro.util.bitops import unpack_pairs
+
+    if locations.size == 0:
+        return []
+    tgt, win = unpack_pairs(locations)
+    uniq, counts = np.unique(locations, return_counts=True)
+    ut, uw = unpack_pairs(uniq)
+    best = {}
+    for i in range(uniq.size):
+        score = 0
+        last = int(uw[i])
+        for j in range(i, uniq.size):
+            if ut[j] != ut[i] or uw[j] >= uw[i] + sws:
+                break
+            score += int(counts[j])
+            last = int(uw[j])
+        t = int(ut[i])
+        cand = (score, -int(uw[i]), last)
+        if t not in best or cand > best[t]:
+            best[t] = cand
+    rows = sorted(
+        ((t, -c[1], c[2], c[0]) for t, c in best.items()),
+        key=lambda r: (-r[3], r[0], r[1]),
+    )
+    return rows[:m]
+
+
+class TestAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 12)),
+            min_size=0,
+            max_size=60,
+        ),
+        st.integers(1, 5),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bruteforce(self, entries, sws, m):
+        locations = make_locations(entries) if entries else np.zeros(0, dtype=np.uint64)
+        offsets = np.array([0, locations.size])
+        got = generate_top_candidates(locations, offsets, sws, m)
+        expected = reference_candidates(locations, sws, m)
+        n_valid = int(got.valid[0].sum())
+        assert n_valid == len(expected)
+        for col, (t, wf, wl, sc) in enumerate(expected):
+            assert got.target[0, col] == t
+            assert got.window_first[0, col] == wf
+            assert got.window_last[0, col] == wl
+            assert got.score[0, col] == sc
+
+
+class TestMerge:
+    def _single(self, target, score):
+        return Candidates(
+            target=np.array([[target]], dtype=np.uint32),
+            window_first=np.zeros((1, 1), dtype=np.uint32),
+            window_last=np.zeros((1, 1), dtype=np.uint32),
+            score=np.array([[score]], dtype=np.int64),
+            valid=np.array([[score > 0]]),
+        )
+
+    def test_merge_keeps_best(self):
+        a = self._single(1, 5)
+        b = self._single(2, 9)
+        merged = a.merged_with(b)
+        assert merged.target[0, 0] == 2 and merged.score[0, 0] == 9
+
+    def test_merge_with_empty(self):
+        a = self._single(1, 5)
+        b = self._single(0, 0)
+        merged = a.merged_with(b)
+        assert merged.valid[0, 0] and merged.target[0, 0] == 1
+
+    def test_merge_mismatched_reads_raises(self):
+        a = self._single(1, 5)
+        b = Candidates(
+            target=np.zeros((2, 1), dtype=np.uint32),
+            window_first=np.zeros((2, 1), dtype=np.uint32),
+            window_last=np.zeros((2, 1), dtype=np.uint32),
+            score=np.zeros((2, 1), dtype=np.int64),
+            valid=np.zeros((2, 1), dtype=bool),
+        )
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_merge_equals_joint_generation(self):
+        """Partition merge == single-table result (disjoint targets)."""
+        rng = np.random.default_rng(3)
+        all_entries = [(int(t), int(w)) for t, w in zip(rng.integers(0, 6, 40), rng.integers(0, 10, 40))]
+        part1 = [e for e in all_entries if e[0] < 3]
+        part2 = [e for e in all_entries if e[0] >= 3]
+        joint = make_locations(all_entries)
+        c_joint = generate_top_candidates(joint, np.array([0, joint.size]), 3, 4)
+        parts = []
+        for entries in (part1, part2):
+            l = make_locations(entries) if entries else np.zeros(0, dtype=np.uint64)
+            parts.append(
+                generate_top_candidates(l, np.array([0, l.size]), 3, 4)
+            )
+        merged = parts[0].merged_with(parts[1])
+        got = sorted(
+            (int(t), int(s))
+            for t, s, v in zip(merged.target[0], merged.score[0], merged.valid[0])
+            if v
+        )
+        exp = sorted(
+            (int(t), int(s))
+            for t, s, v in zip(c_joint.target[0], c_joint.score[0], c_joint.valid[0])
+            if v
+        )
+        assert got == exp

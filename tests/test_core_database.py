@@ -1,0 +1,187 @@
+"""Tests for Database build, partitioning, layouts and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MetaCacheParams
+from repro.core.database import CondensedIndex, Database
+from repro.core.io import load_database, save_database
+from repro.genomics.simulate import GenomeSimulator
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.memory import OutOfDeviceMemory
+from repro.taxonomy.builder import build_taxonomy_for_genomes
+from repro.warpcore.multi_bucket import MultiBucketHashTable
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    genomes = GenomeSimulator(seed=11).simulate_collection(3, 2, 3000)
+    taxonomy, taxa = build_taxonomy_for_genomes(genomes)
+    refs = [
+        (g.name, g.scaffolds[0], taxa.target_taxon[i]) for i, g in enumerate(genomes)
+    ]
+    return genomes, taxonomy, taxa, refs
+
+
+PARAMS = MetaCacheParams.small()
+
+
+class TestBuild:
+    def test_basic_build(self, small_world):
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS)
+        assert db.n_targets == 6
+        assert db.total_windows > 0
+        assert db.nbytes > 0
+        assert db.n_partitions == 1
+
+    def test_partition_assignment_never_splits_targets(self, small_world):
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS, n_partitions=3)
+        assert db.n_partitions == 3
+        parts = {t.partition_id for t in db.targets}
+        assert parts <= {0, 1, 2}
+        # greedy loading balances bases across partitions
+        loads = [0, 0, 0]
+        for t in db.targets:
+            loads[t.partition_id] += t.length
+        assert max(loads) < 2 * min(loads)
+
+    def test_unknown_taxon_rejected(self, small_world):
+        _, taxonomy, _, refs = small_world
+        bad = [(refs[0][0], refs[0][1], 987654)]
+        with pytest.raises(KeyError):
+            Database.build(bad, taxonomy, params=PARAMS)
+
+    def test_target_taxa_vector(self, small_world):
+        _, taxonomy, taxa, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS)
+        assert list(db.target_taxa()) == taxa.target_taxon
+
+    def test_short_sequence_yields_no_windows(self, small_world):
+        _, taxonomy, taxa, refs = small_world
+        tiny = refs + [("tiny", np.zeros(3, dtype=np.uint8), taxa.target_taxon[0])]
+        db = Database.build(tiny, taxonomy, params=PARAMS)
+        assert db.targets[-1].n_windows == 0
+
+    def test_device_memory_accounting(self, small_world):
+        _, taxonomy, _, refs = small_world
+        devices = [Device(device_id=i) for i in range(2)]
+        db = Database.build(
+            refs, taxonomy, params=PARAMS, n_partitions=2, devices=devices
+        )
+        assert all(d.memory.allocated_bytes > 0 for d in devices)
+        db.release_devices()
+        assert all(d.memory.allocated_bytes == 0 for d in devices)
+
+    def test_too_small_device_raises(self, small_world):
+        _, taxonomy, _, refs = small_world
+        tiny_spec = DeviceSpec(
+            name="tiny",
+            memory_bytes=1024,  # 1 KiB: nothing fits
+            mem_bandwidth=1e9,
+            sm_count=1,
+            cores_per_sm=1,
+            clock_hz=1e9,
+            nvlink_bw=1e9,
+            pcie_bw=1e9,
+        )
+        devices = [Device(device_id=0, spec=tiny_spec)]
+        with pytest.raises(OutOfDeviceMemory):
+            Database.build(refs, taxonomy, params=PARAMS, n_partitions=1, devices=devices)
+
+    def test_fewer_devices_than_partitions_rejected(self, small_world):
+        _, taxonomy, _, refs = small_world
+        with pytest.raises(ValueError):
+            Database.build(
+                refs,
+                taxonomy,
+                params=PARAMS,
+                n_partitions=2,
+                devices=[Device(device_id=0)],
+            )
+
+
+class TestCondensedIndex:
+    def test_matches_build_layout(self):
+        rng = np.random.default_rng(0)
+        table = MultiBucketHashTable(capacity_values=2048, bucket_size=4)
+        keys = rng.integers(0, 50, 500).astype(np.uint64)
+        vals = rng.integers(0, 2**62, 500, dtype=np.uint64)
+        table.insert(keys, vals)
+        cond = CondensedIndex.from_table(table)
+        queries = np.arange(60, dtype=np.uint64)
+        v1, o1 = table.retrieve(queries)
+        v2, o2 = cond.retrieve(queries)
+        assert np.array_equal(o1, o2)
+        for i in range(queries.size):
+            assert sorted(v1[o1[i] : o1[i + 1]].tolist()) == sorted(
+                v2[o2[i] : o2[i + 1]].tolist()
+            )
+
+    def test_empty_table(self):
+        table = MultiBucketHashTable(capacity_values=64)
+        cond = CondensedIndex.from_table(table)
+        v, o = cond.retrieve(np.array([1, 2], dtype=np.uint64))
+        assert v.size == 0 and list(o) == [0, 0, 0]
+
+    def test_nbytes_positive(self):
+        table = MultiBucketHashTable(capacity_values=64)
+        table.insert(
+            np.array([1], dtype=np.uint64), np.array([2], dtype=np.uint64)
+        )
+        assert CondensedIndex.from_table(table).nbytes > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, small_world, tmp_path):
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS, n_partitions=2)
+        files = save_database(db, tmp_path)
+        assert (tmp_path / "database.meta").exists()
+        assert (tmp_path / "database.cache0").exists()
+        assert (tmp_path / "database.cache1").exists()
+        assert len(files) == 5  # meta + 2 dumps + 2 caches
+        db2 = load_database(tmp_path)
+        assert db2.n_targets == db.n_targets
+        assert db2.params == db.params
+        assert [t.name for t in db2.targets] == [t.name for t in db.targets]
+
+    def test_load_rejects_bad_version(self, small_world, tmp_path):
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS)
+        save_database(db, tmp_path)
+        meta = (tmp_path / "database.meta").read_text()
+        (tmp_path / "database.meta").write_text(
+            meta.replace('"format_version": 1', '"format_version": 99')
+        )
+        with pytest.raises(ValueError):
+            load_database(tmp_path)
+
+    def test_load_onto_devices(self, small_world, tmp_path):
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS, n_partitions=2)
+        save_database(db, tmp_path)
+        devices = [Device(device_id=i) for i in range(2)]
+        db2 = load_database(tmp_path, devices=devices)
+        assert all(d.memory.allocated_bytes > 0 for d in devices)
+        db2.release_devices()
+
+    def test_save_condensed_database(self, small_world, tmp_path):
+        """Saving after condense() must produce identical files content-wise."""
+        _, taxonomy, _, refs = small_world
+        db = Database.build(refs, taxonomy, params=PARAMS)
+        save_database(db, tmp_path / "build")
+        db.condense()
+        save_database(db, tmp_path / "cond")
+        for name in ("database.cache0",):
+            a = np.load(tmp_path / "build" / name)
+            b = np.load(tmp_path / "cond" / name)
+            assert np.array_equal(a["features"], b["features"])
+            assert np.array_equal(a["lengths"], b["lengths"])
+            # location lists may be permuted within a feature; compare sorted
+            off = np.concatenate(([0], np.cumsum(a["lengths"])))
+            for i in range(a["features"].size):
+                assert sorted(a["locations"][off[i]:off[i+1]].tolist()) == sorted(
+                    b["locations"][off[i]:off[i+1]].tolist()
+                )

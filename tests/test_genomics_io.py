@@ -1,0 +1,71 @@
+"""Tests for FASTA/FASTQ IO."""
+
+import io
+
+import pytest
+
+from repro.genomics.fasta import FastaRecord, read_fasta, write_fasta
+from repro.genomics.fastq import FastqRecord, read_fastq, write_fastq
+
+
+class TestFasta:
+    def test_roundtrip_file(self, tmp_path):
+        records = [
+            FastaRecord("seq1 first genome", "ACGT" * 30),
+            FastaRecord("seq2", "TTTT"),
+        ]
+        path = tmp_path / "x.fasta"
+        assert write_fasta(records, path) == 2
+        back = list(read_fasta(path))
+        assert back == records
+
+    def test_line_wrapping(self):
+        buf = io.StringIO()
+        write_fasta([("h", "A" * 100)], buf, line_width=30)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == ">h"
+        assert [len(l) for l in lines[1:]] == [30, 30, 30, 10]
+
+    def test_multiline_and_crlf(self):
+        text = ">a desc\r\nACGT\r\nTTAA\r\n>b\r\nGG\r\n"
+        recs = list(read_fasta(io.StringIO(text)))
+        assert recs[0].sequence == "ACGTTTAA"
+        assert recs[0].header == "a desc"
+        assert recs[0].accession == "a"
+        assert recs[1].sequence == "GG"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ValueError):
+            list(read_fasta(io.StringIO("ACGT\n>a\nACGT\n")))
+
+    def test_empty_file(self):
+        assert list(read_fasta(io.StringIO(""))) == []
+
+    def test_accession_of_empty_header(self):
+        assert FastaRecord("", "ACGT").accession == ""
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            FastqRecord("r1", "ACGT", "IIII"),
+            FastqRecord("r2 extra", "GG", "!!"),
+        ]
+        path = tmp_path / "x.fastq"
+        assert write_fastq(records, path) == 2
+        assert list(read_fastq(path)) == records
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "II")
+
+    def test_malformed_sigil(self):
+        with pytest.raises(ValueError):
+            list(read_fastq(io.StringIO("notfastq\nACGT\n+\nIIII\n")))
+
+    def test_truncated_record(self):
+        with pytest.raises(ValueError):
+            list(read_fastq(io.StringIO("@r\nACGT\n+\nII")))
+
+    def test_empty(self):
+        assert list(read_fastq(io.StringIO(""))) == []

@@ -1,0 +1,135 @@
+"""Tests for alphabet encoding, k-mer packing and canonicalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.alphabet import (
+    AMBIG,
+    complement_codes,
+    decode_sequence,
+    encode_sequence,
+    reverse_complement_str,
+)
+from repro.genomics.kmers import (
+    canonical_kmers,
+    kmer_validity,
+    pack_kmers,
+    valid_canonical_kmers,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_with_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+class TestAlphabet:
+    def test_encode_known(self):
+        codes = encode_sequence("ACGT")
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_encode_lower_and_u(self):
+        assert list(encode_sequence("acgu")) == [0, 1, 2, 3]
+
+    def test_ambiguous(self):
+        codes = encode_sequence("ANRT")
+        assert codes[0] == 0 and codes[3] == 3
+        assert codes[1] == AMBIG and codes[2] == AMBIG
+
+    def test_decode_roundtrip(self):
+        assert decode_sequence(encode_sequence("ACGTN")) == "ACGTN"
+
+    def test_encode_idempotent_on_arrays(self):
+        codes = encode_sequence("ACGT")
+        assert encode_sequence(codes) is codes
+
+    def test_encode_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            encode_sequence(np.zeros(4, dtype=np.int64))
+
+    def test_complement(self):
+        assert list(complement_codes(encode_sequence("ACGTN"))) == [3, 2, 1, 0, AMBIG]
+
+    def test_reverse_complement_str(self):
+        assert reverse_complement_str("AACGTT") == "AACGTT"  # palindrome
+        assert reverse_complement_str("AAAC") == "GTTT"
+
+    @given(dna)
+    @settings(max_examples=50)
+    def test_revcomp_involution(self, seq):
+        assert reverse_complement_str(reverse_complement_str(seq)) == seq
+
+
+class TestPackKmers:
+    def test_short_sequence_empty(self):
+        assert pack_kmers(encode_sequence("ACG"), 4).size == 0
+
+    def test_known_packing(self):
+        # ACGT as 4-mer: 0b00_01_10_11 = 27
+        out = pack_kmers(encode_sequence("ACGT"), 4)
+        assert out.size == 1 and out[0] == 27
+
+    def test_sliding(self):
+        out = pack_kmers(encode_sequence("AACGT"), 4)
+        assert out.size == 2
+        # AACG = 0b00_00_01_10 = 6 ; ACGT = 27
+        assert list(out) == [6, 27]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            pack_kmers(encode_sequence("ACGT"), 0)
+        with pytest.raises(ValueError):
+            pack_kmers(encode_sequence("ACGT"), 33)
+
+    @given(dna, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_matches_scalar_packing(self, seq, k):
+        codes = encode_sequence(seq)
+        out = pack_kmers(codes, k)
+        expected = []
+        for i in range(max(0, len(seq) - k + 1)):
+            v = 0
+            for ch in seq[i : i + k]:
+                v = (v << 2) | "ACGT".index(ch)
+            expected.append(v)
+        assert list(out) == expected
+
+
+class TestValidity:
+    def test_all_valid(self):
+        assert kmer_validity(encode_sequence("ACGTACGT"), 4).all()
+
+    def test_n_invalidates_covering_kmers(self):
+        valid = kmer_validity(encode_sequence("ACGNACGT"), 4)
+        # positions 0..3 cover the N at index 3; position 4 onward valid
+        assert list(valid) == [False, False, False, False, True]
+
+    @given(dna_with_n, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_matches_scalar(self, seq, k):
+        codes = encode_sequence(seq)
+        valid = kmer_validity(codes, k)
+        expected = ["N" not in seq[i : i + k] for i in range(max(0, len(seq) - k + 1))]
+        assert list(valid) == expected
+
+
+class TestCanonical:
+    def test_canonical_is_min(self):
+        kmers = pack_kmers(encode_sequence("AAAA"), 4)  # AAAA=0, revcomp TTTT=255
+        assert canonical_kmers(kmers, 4)[0] == 0
+
+    @given(dna.filter(lambda s: len(s) >= 8))
+    @settings(max_examples=50)
+    def test_strand_independence(self, seq):
+        """A sequence and its reverse complement share canonical k-mers."""
+        k = 8
+        fwd = valid_canonical_kmers(encode_sequence(seq), k)
+        rev = valid_canonical_kmers(
+            encode_sequence(reverse_complement_str(seq)), k
+        )
+        assert sorted(fwd.tolist()) == sorted(rev.tolist())
+
+    def test_valid_canonical_excludes_ambiguous(self):
+        out = valid_canonical_kmers(encode_sequence("ACGTNACGT"), 4)
+        # positions covering N removed: 9-4+1=6 kmers total, 4 cover N
+        assert out.size == 2

@@ -1,0 +1,178 @@
+"""Tests for genome/read/community simulators."""
+
+import numpy as np
+
+from repro.genomics.alphabet import AMBIG
+from repro.genomics.community import CommunityMember, MockCommunity
+from repro.genomics.kmers import valid_canonical_kmers
+from repro.genomics.reads import HISEQ, KAL_D, MISEQ, ReadSimulator
+from repro.genomics.simulate import GenomeSimulator, _mutate
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    sa, sb = set(a.tolist()), set(b.tolist())
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+class TestGenomeSimulator:
+    def test_collection_shape(self):
+        genomes = GenomeSimulator(seed=3).simulate_collection(
+            n_genera=4, species_per_genus=3, genome_length=1000
+        )
+        assert len(genomes) == 12
+        assert len({g.accession for g in genomes}) == 12
+        assert {g.genus for g in genomes} == {0, 1, 2, 3}
+        assert len({g.species for g in genomes}) == 12
+
+    def test_deterministic(self):
+        a = GenomeSimulator(seed=3).simulate_collection(2, 2, 500)
+        b = GenomeSimulator(seed=3).simulate_collection(2, 2, 500)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.scaffolds[0], y.scaffolds[0])
+
+    def test_seed_changes_output(self):
+        a = GenomeSimulator(seed=3).simulate_collection(1, 1, 500)
+        b = GenomeSimulator(seed=4).simulate_collection(1, 1, 500)
+        assert not np.array_equal(a[0].scaffolds[0], b[0].scaffolds[0])
+
+    def test_phylogenetic_structure(self):
+        """k-mer sharing within genus >> across genera."""
+        genomes = GenomeSimulator(seed=5, indel_rate=0.0).simulate_collection(
+            n_genera=2, species_per_genus=2, genome_length=5000
+        )
+        k = 16
+        kmers = [valid_canonical_kmers(g.scaffolds[0], k) for g in genomes]
+        within = jaccard(kmers[0], kmers[1])  # same genus
+        across = jaccard(kmers[0], kmers[2])  # different genus
+        assert within > 0.2
+        assert across < 0.01
+        assert within > 10 * max(across, 1e-9)
+
+    def test_mutation_rate_realized(self):
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 4, size=20000).astype(np.uint8)
+        mut = _mutate(np.random.default_rng(1), seq, 0.05, indel_rate=0.0)
+        frac = (mut != seq).mean()
+        assert 0.03 < frac < 0.07
+
+    def test_scaffolded_genome(self):
+        g = GenomeSimulator(seed=1).simulate_scaffolded_genome(
+            total_length=50_000, n_scaffolds=20, name="cow", accession="AFS_COW"
+        )
+        assert len(g.scaffolds) == 20
+        assert g.length >= 20 * 200
+        recs = g.to_fasta_records()
+        assert len(recs) == 20
+        assert recs[0][0].startswith("AFS_COW.1")
+
+    def test_fasta_records_single_scaffold(self):
+        g = GenomeSimulator(seed=1).simulate_collection(1, 1, 300)[0]
+        recs = g.to_fasta_records()
+        assert len(recs) == 1
+        assert recs[0][0].startswith(g.accession)
+
+    def test_ambiguous_runs_present_at_high_rate(self):
+        sim = GenomeSimulator(seed=2, ambiguous_run_rate=1e-3)
+        g = sim.simulate_collection(1, 1, 10_000)[0]
+        assert (g.scaffolds[0] == AMBIG).sum() > 0
+
+
+class TestReadSimulator:
+    def _genomes(self):
+        return GenomeSimulator(seed=11).simulate_collection(2, 2, 3000)
+
+    def test_single_end_lengths(self):
+        reads = ReadSimulator(self._genomes(), seed=1).simulate(HISEQ, 200)
+        mn, mx, mean = reads.length_stats()
+        assert mx <= 101 and mn >= 19
+        assert 80 <= mean <= 101
+        assert not reads.paired
+
+    def test_miseq_longer(self):
+        reads = ReadSimulator(self._genomes(), seed=1).simulate(MISEQ, 200)
+        _, mx, mean = reads.length_stats()
+        assert mx <= 251
+        assert mean > 120
+
+    def test_paired(self):
+        reads = ReadSimulator(self._genomes(), seed=1).simulate(KAL_D, 50)
+        assert reads.paired
+        assert len(reads.mates) == 50
+        assert all(m.size == 101 for m in reads.mates)
+        assert all(s.size == 101 for s in reads.sequences)
+
+    def test_truth_tracks_genome(self):
+        genomes = self._genomes()
+        reads = ReadSimulator(genomes, seed=2).simulate(HISEQ, 100)
+        for i in range(100):
+            g = genomes[int(reads.true_target[i])]
+            assert reads.true_species[i] == g.species
+            assert reads.true_genus[i] == g.genus
+
+    def test_weights_respected(self):
+        genomes = self._genomes()
+        w = np.array([1.0, 0.0, 0.0, 0.0])
+        reads = ReadSimulator(genomes, seed=3, weights=w).simulate(HISEQ, 100)
+        assert (reads.true_target == 0).all()
+
+    def test_deterministic(self):
+        genomes = self._genomes()
+        r1 = ReadSimulator(genomes, seed=4).simulate(HISEQ, 20)
+        r2 = ReadSimulator(genomes, seed=4).simulate(HISEQ, 20)
+        for a, b in zip(r1.sequences, r2.sequences):
+            assert np.array_equal(a, b)
+
+    def test_reads_match_source_genome(self):
+        """With zero error rate, each read (or its revcomp) appears in its genome."""
+        genomes = self._genomes()
+        from repro.genomics.reads import ReadProfile
+
+        profile = ReadProfile("exact", 50, 50, 50, error_rate=0.0)
+        reads = ReadSimulator(genomes, seed=5).simulate(profile, 30)
+        from repro.genomics.alphabet import decode_sequence
+
+        for i, r in enumerate(reads.sequences):
+            g = genomes[int(reads.true_target[i])]
+            hay = decode_sequence(g.scaffolds[0])
+            s = decode_sequence(r)
+            from repro.genomics.alphabet import reverse_complement_str
+
+            assert s in hay or reverse_complement_str(s) in hay
+
+
+class TestMockCommunity:
+    def test_uniform_community(self):
+        genomes = GenomeSimulator(seed=7).simulate_collection(3, 2, 2000)
+        com = MockCommunity.uniform(genomes, [0, 2, 4], seed=1)
+        reads = com.simulate_reads(HISEQ, 300)
+        seen = set(reads.true_target.tolist())
+        assert seen == {0, 2, 4}
+
+    def test_abundances_normalized(self):
+        genomes = GenomeSimulator(seed=7).simulate_collection(2, 1, 2000)
+        com = MockCommunity(
+            genomes,
+            [CommunityMember(0, 3.0), CommunityMember(1, 1.0)],
+            seed=2,
+            strain_divergence=0.0,
+        )
+        ab = com.true_abundances()
+        assert abs(ab[0] - 0.75) < 1e-9
+        assert abs(ab[1] - 0.25) < 1e-9
+        reads = com.simulate_reads(HISEQ, 2000)
+        frac0 = (reads.true_target == 0).mean()
+        assert 0.68 < frac0 < 0.82
+
+    def test_strain_divergence_changes_reads(self):
+        genomes = GenomeSimulator(seed=7).simulate_collection(1, 1, 2000)
+        com_exact = MockCommunity.uniform(genomes, [0], seed=3, strain_divergence=0.0)
+        com_strain = MockCommunity.uniform(genomes, [0], seed=3, strain_divergence=0.05)
+        r_exact = com_exact.simulate_reads(HISEQ, 10)
+        r_strain = com_strain.simulate_reads(HISEQ, 10)
+        diffs = sum(
+            not np.array_equal(a, b)
+            for a, b in zip(r_exact.sequences, r_strain.sequences)
+        )
+        assert diffs > 0

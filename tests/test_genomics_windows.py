@@ -1,0 +1,84 @@
+"""Tests for window partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.windows import WindowLayout, num_windows, window_slices
+
+
+class TestWindowLayout:
+    def test_paper_defaults(self):
+        """Paper: k=16, w=127 => stride 112, a multiple of 4."""
+        layout = WindowLayout(k=16, window_size=127)
+        assert layout.stride == 112
+        assert layout.stride_aligned
+
+    def test_window_smaller_than_k_rejected(self):
+        with pytest.raises(ValueError):
+            WindowLayout(k=16, window_size=15)
+
+    def test_short_sequence_no_windows(self):
+        layout = WindowLayout(k=16, window_size=127)
+        assert layout.num_windows(15) == 0
+
+    def test_single_window(self):
+        layout = WindowLayout(k=16, window_size=127)
+        assert layout.num_windows(16) == 1
+        assert layout.num_windows(112) == 1
+
+    def test_second_window_at_stride(self):
+        layout = WindowLayout(k=16, window_size=127)
+        # a k-mer starting at stride 112 exists once seq_len >= 112+16
+        assert layout.num_windows(127) == 1
+        assert layout.num_windows(128) == 2
+
+    def test_covered_windows_short_read(self):
+        layout = WindowLayout(k=16, window_size=127)
+        # HiSeq-style 101bp read fits in one window span
+        assert layout.covered_windows(101) == 1
+
+    def test_covered_windows_miseq_read(self):
+        layout = WindowLayout(k=16, window_size=127)
+        # MiSeq-style 251bp read: 236 kmers / 112 stride -> 3 windows
+        assert layout.covered_windows(251) == 3
+        # 157bp -> 142 kmers -> 2 windows
+        assert layout.covered_windows(157) == 2
+
+
+class TestWindowSlices:
+    def test_overlap_is_k_minus_1(self):
+        starts, ends = window_slices(300, 127, 112, 16)
+        assert starts[1] == 112
+        # window 0 is [0,127), window 1 starts at 112 -> overlap 15 = k-1
+        assert ends[0] - starts[1] == 15
+
+    def test_last_window_clipped(self):
+        starts, ends = window_slices(130, 127, 112, 16)
+        assert len(starts) == 2
+        assert ends[-1] == 130
+
+    def test_every_kmer_covered_exactly(self):
+        """Union of per-window k-mer start positions = all positions."""
+        k, w = 5, 12
+        stride = w - k + 1
+        for n in [5, 6, 20, 37, 100]:
+            starts, ends = window_slices(n, w, stride, k)
+            covered = set()
+            for s, e in zip(starts, ends):
+                covered.update(range(s, e - k + 1))
+            assert covered == set(range(n - k + 1))
+
+    @given(st.integers(1, 12), st.integers(0, 500))
+    @settings(max_examples=80)
+    def test_coverage_property(self, k, n):
+        w = 3 * k  # arbitrary window bigger than k
+        stride = w - k + 1
+        starts, ends = window_slices(n, w, stride, k)
+        assert len(starts) == num_windows(n, w, stride, k)
+        covered = set()
+        for s, e in zip(starts, ends):
+            assert e - s >= k  # every window holds at least one k-mer
+            covered.update(range(s, e - k + 1))
+        assert covered == set(range(max(0, n - k + 1)))

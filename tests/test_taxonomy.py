@@ -1,0 +1,218 @@
+"""Tests for taxonomy tree, ranks, lineages, NCBI IO and LCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.simulate import GenomeSimulator
+from repro.taxonomy.builder import build_taxonomy_for_genomes
+from repro.taxonomy.lca import LcaIndex
+from repro.taxonomy.lineage import RankedLineages
+from repro.taxonomy.ncbi import load_ncbi_dump, write_ncbi_dump
+from repro.taxonomy.ranks import Rank
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+
+
+def small_tree() -> Taxonomy:
+    """root(1) -> genusA(10) -> spA1(100), spA2(101); genusB(20) -> spB1(200)."""
+    return Taxonomy(
+        [
+            (1, 1, Rank.ROOT, "root"),
+            (10, 1, Rank.GENUS, "genusA"),
+            (20, 1, Rank.GENUS, "genusB"),
+            (100, 10, Rank.SPECIES, "spA1"),
+            (101, 10, Rank.SPECIES, "spA2"),
+            (200, 20, Rank.SPECIES, "spB1"),
+            (1000, 100, Rank.SEQUENCE, "target spA1.1"),
+        ]
+    )
+
+
+class TestRank:
+    def test_ordering(self):
+        assert Rank.SPECIES < Rank.GENUS < Rank.ROOT
+        assert Rank.SEQUENCE < Rank.SPECIES
+
+    def test_from_name_aliases(self):
+        assert Rank.from_name("superkingdom") == Rank.DOMAIN
+        assert Rank.from_name("no rank") == Rank.SEQUENCE
+        assert Rank.from_name("SPECIES") == Rank.SPECIES
+        assert Rank.from_name("strain") == Rank.SUBSPECIES
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            Rank.from_name("clade-of-doom")
+
+    def test_ncbi_name_roundtrip(self):
+        for r in Rank:
+            if r not in (Rank.SEQUENCE, Rank.ROOT):
+                assert Rank.from_name(r.ncbi_name()) == r
+
+    def test_coarser(self):
+        assert Rank.SPECIES.coarser() == Rank.GENUS
+        assert Rank.ROOT.coarser() == Rank.ROOT
+
+
+class TestTaxonomy:
+    def test_basic_queries(self):
+        t = small_tree()
+        assert len(t) == 7
+        assert t.root_id == 1
+        assert t.parent_id(100) == 10
+        assert t.rank_of(10) == Rank.GENUS
+        assert t.name_of(200) == "spB1"
+        assert 100 in t and 999 not in t
+
+    def test_lineage(self):
+        t = small_tree()
+        assert t.lineage(1000) == [1000, 100, 10, 1]
+
+    def test_depths(self):
+        t = small_tree()
+        assert t.depth_of(1) == 0
+        assert t.depth_of(10) == 1
+        assert t.depth_of(1000) == 3
+
+    def test_ancestor_at_rank(self):
+        t = small_tree()
+        assert t.ancestor_at_rank(1000, Rank.GENUS) == 10
+        assert t.ancestor_at_rank(1000, Rank.SPECIES) == 100
+        assert t.ancestor_at_rank(1000, Rank.FAMILY) is None
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([(1, 1, Rank.ROOT, "r"), (1, 1, Rank.GENUS, "dup")])
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([(1, 1, Rank.ROOT, "r"), (2, 99, Rank.GENUS, "orphan")])
+
+    def test_no_root_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([(1, 2, Rank.GENUS, "a"), (2, 1, Rank.GENUS, "b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([])
+
+    def test_children_map(self):
+        t = small_tree()
+        cm = t.children_map()
+        assert sorted(cm[1]) == [10, 20]
+        assert cm[100] == [1000]
+
+    def test_taxa_at_rank(self):
+        t = small_tree()
+        assert sorted(t.taxa_at_rank(Rank.SPECIES)) == [100, 101, 200]
+
+
+class TestLca:
+    def test_known_lcas(self):
+        t = small_tree()
+        idx = LcaIndex(t)
+        assert idx.lca(100, 101) == 10
+        assert idx.lca(100, 200) == 1
+        assert idx.lca(1000, 101) == 10
+        assert idx.lca(100, 100) == 100
+        assert idx.lca(1000, 100) == 100  # ancestor relationship
+
+    def test_lca_of_set(self):
+        t = small_tree()
+        idx = LcaIndex(t)
+        assert idx.lca_of_set([100, 101]) == 10
+        assert idx.lca_of_set([100, 101, 200]) == 1
+        assert idx.lca_of_set([1000]) == 1000
+        with pytest.raises(ValueError):
+            idx.lca_of_set([])
+
+    def test_batch_matches_scalar(self):
+        t = small_tree()
+        idx = LcaIndex(t)
+        ids = [100, 101, 200, 1000, 10, 20, 1]
+        dense = np.array([t.index_of(i) for i in ids])
+        rng = np.random.default_rng(0)
+        a = rng.choice(dense, size=50)
+        b = rng.choice(dense, size=50)
+        batch = idx.lca_batch(a, b)
+        for ia, ib, res in zip(a, b, batch):
+            expected = idx.lca(t.id_of(int(ia)), t.id_of(int(ib)))
+            assert t.id_of(int(res)) == expected
+
+    @given(st.integers(2, 40), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_on_random_trees(self, n, seed):
+        """O(1) LCA agrees with lineage-intersection LCA on random trees."""
+        rng = np.random.default_rng(seed)
+        nodes = [(1, 1, Rank.ROOT, "root")]
+        for i in range(2, n + 2):
+            parent = int(rng.integers(1, i))  # attach to any earlier node
+            nodes.append((i, parent, Rank.SEQUENCE, f"n{i}"))
+        t = Taxonomy(nodes)
+        idx = LcaIndex(t)
+        ids = list(t.iter_ids())
+        for _ in range(20):
+            a = int(rng.choice(ids))
+            b = int(rng.choice(ids))
+            assert idx.lca(a, b) == t.lca_naive(a, b)
+
+
+class TestRankedLineages:
+    def test_matrix_values(self):
+        t = small_tree()
+        rl = RankedLineages(t)
+        assert rl.ancestor_at_rank(1000, Rank.SPECIES) == 100
+        assert rl.ancestor_at_rank(1000, Rank.GENUS) == 10
+        assert rl.ancestor_at_rank(1000, Rank.ROOT) == 1
+        assert rl.ancestor_at_rank(10, Rank.SPECIES) is None
+
+    def test_vectorized_ancestors(self):
+        t = small_tree()
+        rl = RankedLineages(t)
+        dense = np.array([t.index_of(1000), t.index_of(200)])
+        out = rl.ancestors_at_rank(dense, Rank.GENUS)
+        assert list(out) == [10, 20]
+
+    def test_rank_resolved(self):
+        t = small_tree()
+        rl = RankedLineages(t)
+        assert rl.rank_resolved(100) == Rank.SPECIES
+        assert rl.rank_resolved(10) == Rank.GENUS
+        assert rl.rank_resolved(1) == Rank.ROOT
+
+
+class TestNcbiIO:
+    def test_roundtrip(self, tmp_path):
+        t = small_tree()
+        nodes = tmp_path / "nodes.dmp"
+        names = tmp_path / "names.dmp"
+        write_ncbi_dump(t, nodes, names)
+        t2 = load_ncbi_dump(nodes, names)
+        assert len(t2) == len(t)
+        for tid in t.iter_ids():
+            assert t2.parent_id(tid) == t.parent_id(tid)
+            assert t2.name_of(tid) == t.name_of(tid)
+            assert t2.rank_of(tid) == t.rank_of(tid)
+
+
+class TestBuilder:
+    def test_build_for_genomes(self):
+        genomes = GenomeSimulator(seed=1).simulate_collection(
+            n_genera=3, species_per_genus=2, genome_length=500
+        )
+        taxonomy, taxa = build_taxonomy_for_genomes(genomes)
+        assert len(taxa.target_taxon) == 6
+        # every target taxon resolves to the right species and genus
+        rl = RankedLineages(taxonomy)
+        for i, g in enumerate(genomes):
+            assert (
+                rl.ancestor_at_rank(taxa.target_taxon[i], Rank.SPECIES)
+                == taxa.species_taxon[i]
+            )
+            assert (
+                rl.ancestor_at_rank(taxa.target_taxon[i], Rank.GENUS)
+                == taxa.genus_taxon[i]
+            )
+        # same genus genomes share genus taxon
+        assert taxa.genus_taxon[0] == taxa.genus_taxon[1]
+        assert taxa.genus_taxon[0] != taxa.genus_taxon[2]

@@ -1,0 +1,125 @@
+"""Tests for segmented array primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.scan import exclusive_prefix_sum, inclusive_prefix_sum
+from repro.util.segmented import (
+    first_occurrence_mask,
+    offsets_from_segment_ids,
+    run_length_encode,
+    segment_boundaries,
+    segment_ids_from_offsets,
+    segmented_cumcount,
+    segmented_top_k_mask,
+)
+
+
+class TestRunLengthEncode:
+    def test_empty(self):
+        vals, counts = run_length_encode(np.array([], dtype=np.int64))
+        assert vals.size == 0 and counts.size == 0
+
+    def test_basic(self):
+        vals, counts = run_length_encode(np.array([5, 5, 2, 2, 2, 7]))
+        assert list(vals) == [5, 2, 7]
+        assert list(counts) == [2, 3, 1]
+
+    def test_adjacent_only(self):
+        # non-adjacent duplicates are NOT merged (unlike np.unique)
+        vals, counts = run_length_encode(np.array([1, 2, 1]))
+        assert list(vals) == [1, 2, 1]
+        assert list(counts) == [1, 1, 1]
+
+    @given(st.lists(st.integers(0, 5), max_size=200))
+    @settings(max_examples=50)
+    def test_reconstruction(self, values):
+        v = np.array(values, dtype=np.int64)
+        vals, counts = run_length_encode(v)
+        assert np.array_equal(np.repeat(vals, counts), v)
+        # no two adjacent encoded values equal
+        if vals.size > 1:
+            assert (vals[1:] != vals[:-1]).all()
+
+
+class TestSegmentOps:
+    def test_boundaries(self):
+        s = np.array([3, 3, 1, 1, 1, 9])
+        assert list(segment_boundaries(s)) == [0, 2, 5]
+
+    def test_cumcount(self):
+        s = np.array([0, 0, 0, 4, 4, 7])
+        assert list(segmented_cumcount(s)) == [0, 1, 2, 0, 1, 0]
+
+    def test_offsets_roundtrip(self):
+        offsets = np.array([0, 3, 3, 5, 9])
+        ids = segment_ids_from_offsets(offsets)
+        assert list(ids) == [0, 0, 0, 2, 2, 3, 3, 3, 3]
+        back = offsets_from_segment_ids(ids, 4)
+        assert np.array_equal(back, offsets)
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_offsets_roundtrip_property(self, lengths):
+        offsets = exclusive_prefix_sum(np.array(lengths))
+        ids = segment_ids_from_offsets(offsets)
+        assert ids.size == sum(lengths)
+        assert np.array_equal(offsets_from_segment_ids(ids, len(lengths)), offsets)
+
+
+class TestScans:
+    def test_exclusive(self):
+        out = exclusive_prefix_sum(np.array([2, 0, 5]))
+        assert list(out) == [0, 2, 2, 7]
+
+    def test_inclusive(self):
+        out = inclusive_prefix_sum(np.array([2, 0, 5]))
+        assert list(out) == [2, 2, 7]
+
+    def test_empty(self):
+        assert list(exclusive_prefix_sum(np.array([], dtype=np.int64))) == [0]
+
+
+class TestFirstOccurrence:
+    def test_basic(self):
+        mask = first_occurrence_mask(np.array([1, 1, 2, 3, 3, 3]))
+        assert list(mask) == [True, False, True, True, False, False]
+
+
+class TestSegmentedTopK:
+    def test_selects_k_best_per_segment(self):
+        seg = np.array([0, 0, 0, 1, 1])
+        scores = np.array([5.0, 9.0, 7.0, 1.0, 2.0])
+        mask = segmented_top_k_mask(seg, scores, 2)
+        assert list(mask) == [False, True, True, False, True] or list(mask) == [
+            False,
+            True,
+            True,
+            True,
+            True,
+        ]
+        # exactly 2 in segment 0, and both elements of segment 1 (only 2 exist)
+        assert mask[:3].sum() == 2
+        assert mask[1] and mask[2]
+
+    def test_ties_prefer_earlier_index(self):
+        seg = np.zeros(3, dtype=np.int64)
+        scores = np.array([4.0, 4.0, 4.0])
+        mask = segmented_top_k_mask(seg, scores, 2)
+        assert list(mask) == [True, True, False]
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=60),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50)
+    def test_count_per_segment_never_exceeds_k(self, seg_list, k):
+        seg = np.sort(np.array(seg_list, dtype=np.int64))
+        rng = np.random.default_rng(0)
+        scores = rng.random(seg.size)
+        mask = segmented_top_k_mask(seg, scores, k)
+        for s in np.unique(seg):
+            sel = mask[seg == s]
+            expected = min(k, (seg == s).sum())
+            assert sel.sum() == expected
