@@ -11,17 +11,17 @@ This example:
 
 1. simulates four "meat" genomes (large, scaffold-level drafts, like
    real livestock assemblies) plus a bacterial background collection;
-2. builds the combined database on the fly (no disk round trip);
+2. builds the combined database on the fly via ``MetaCache.ephemeral``
+   (no disk round trip);
 3. simulates paired-end reads from a sausage with a hidden 10% horse
-   content;
+   content and classifies them in a session;
 4. estimates per-species abundances and compares to the recipe.
 
 Run:  python examples/food_authentication.py
 """
 
 
-from repro.core import MetaCacheParams, build_and_query
-from repro.core.abundance import abundance_deviation, estimate_abundances
+from repro.api import MetaCache, abundance_deviation, estimate_abundances
 from repro.genomics import GenomeSimulator, MockCommunity
 from repro.genomics.community import CommunityMember
 from repro.genomics.reads import KAL_D
@@ -37,7 +37,6 @@ def main() -> None:
     genomes = list(
         sim.simulate_collection(n_genera=6, species_per_genus=2, genome_length=20_000)
     )
-    n_bact = len(genomes)
     meats = {}
     for i, meat in enumerate(ACTUAL):
         g = sim.simulate_scaffolded_genome(
@@ -66,17 +65,11 @@ def main() -> None:
     for i, g in enumerate(genomes):
         for s, scaffold in enumerate(g.scaffolds):
             references.append((f"{g.name}.{s}", scaffold, taxa.target_taxon[i]))
-    run = build_and_query(
-        references,
-        taxonomy,
-        reads.sequences,
-        mates=reads.mates,
-        params=MetaCacheParams(),
-        n_partitions=2,
-    )
+    mc = MetaCache.ephemeral(references, taxonomy, n_partitions=2)
+    run = mc.classify(reads.sequences, mates=reads.mates)
     print(
-        f"  time-to-query {run.time_to_query:.2f} s, classified "
-        f"{run.classification.n_classified}/{len(reads)} read pairs"
+        f"  time-to-query {mc.time_to_query:.2f} s, classified "
+        f"{run.n_classified}/{len(reads)} read pairs"
     )
 
     estimated = estimate_abundances(taxonomy, run.classification, Rank.SPECIES)

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """The full file-based workflow: FASTA in, classifications out.
 
-Mirrors how the real MetaCache binary is operated:
+Mirrors how the real MetaCache binary is operated, expressed entirely
+through the :mod:`repro.api` facade:
 
 1. reference genomes arrive as FASTA files plus NCBI-format taxonomy
    dumps (nodes.dmp / names.dmp);
-2. ``build`` parses them through the producer/consumer pipeline into
-   a partitioned database, which is saved as database.meta/.cacheN;
-3. ``query`` later reloads the condensed database and classifies a
-   FASTQ sample, writing a per-read report.
+2. ``MetaCache.build`` parses them through the producer/consumer
+   pipeline into a partitioned database, saved as database.meta/.cacheN;
+3. ``MetaCache.open`` later reloads the condensed database and a
+   session streams a FASTQ sample straight into result sinks --
+   the classic TSV report plus a lossless JSONL copy, without the
+   sample ever being fully resident in memory.
 
 Run:  python examples/interactive_fasta_workflow.py
 """
@@ -16,15 +19,12 @@ Run:  python examples/interactive_fasta_workflow.py
 import tempfile
 from pathlib import Path
 
-from repro.core import MetaCacheParams, classify_reads, query_database
-from repro.core.build import build_from_fasta
-from repro.core.io import load_database, save_database
+from repro.api import JsonlSink, MetaCache, TsvSink
 from repro.genomics import GenomeSimulator, ReadSimulator, write_fasta
 from repro.genomics.alphabet import decode_sequence
-from repro.genomics.fastq import FastqRecord, read_fastq, write_fastq
+from repro.genomics.fastq import FastqRecord, write_fastq
 from repro.genomics.reads import HISEQ
 from repro.taxonomy import build_taxonomy_for_genomes, write_ncbi_dump
-from repro.taxonomy.ncbi import load_ncbi_dump
 
 
 def main() -> None:
@@ -56,46 +56,35 @@ def main() -> None:
     print(f"  {len(fasta_paths)} reference FASTA files, 1 FASTQ sample")
 
     # -- stage 1: build and save --------------------------------------------
-    taxonomy_loaded = load_ncbi_dump(workdir / "nodes.dmp", workdir / "names.dmp")
-    db = build_from_fasta(
-        fasta_paths,
-        taxonomy_loaded,
-        acc2tax,
-        params=MetaCacheParams(),
-        n_partitions=2,
+    # taxonomy can be passed as the dump directory; the mapping as a dict
+    mc = MetaCache.build(
+        fasta_paths, taxonomy=workdir, mapping=acc2tax, n_partitions=2
     )
     db_dir = workdir / "db"
-    files = save_database(db, db_dir)
-    print(f"  built {db.n_targets} targets; saved {len(files)} database files")
+    files = mc.save(db_dir)
+    print(f"  built {mc.n_targets} targets; saved {len(files)} database files")
 
-    # -- stage 2: reload and classify ---------------------------------------
-    db2 = load_database(db_dir)
-    sample = [rec for rec in read_fastq(sample_path)]
-    from repro.genomics.alphabet import encode_sequence
-
-    sequences = [encode_sequence(rec.sequence) for rec in sample]
-    result = query_database(db2, sequences)
-    cls = classify_reads(db2, result.candidates)
-
+    # -- stage 2: reload and classify, streaming into sinks ------------------
+    session = MetaCache.open(db_dir).session()
     report_path = workdir / "classification.tsv"
-    with open(report_path, "w") as fh:
-        fh.write("read\ttaxon_id\ttaxon_name\tscore\ttarget\twindows\n")
-        for i, rec in enumerate(sample):
-            taxon = int(cls.taxon[i])
-            if taxon == 0:
-                fh.write(f"{rec.header}\t0\tunclassified\t0\t-\t-\n")
-            else:
-                fh.write(
-                    f"{rec.header}\t{taxon}\t{db2.taxonomy.name_of(taxon)}\t"
-                    f"{int(cls.top_score[i])}\t{int(cls.best_target[i])}\t"
-                    f"[{int(cls.best_window_first[i])},"
-                    f"{int(cls.best_window_last[i])}]\n"
-                )
-    classified = cls.n_classified
-    print(f"  classified {classified}/{len(sample)} reads -> {report_path}")
+    jsonl_path = workdir / "classification.jsonl"
+    with TsvSink(report_path) as tsv, JsonlSink(jsonl_path) as jsonl:
+        report = session.classify_files(
+            sample_path,
+            sink=tsv,
+            batch_size=64,  # at most 64 reads resident at a time
+        )
+        # second pass showing an alternate wire format from the same session
+        session.classify_files(sample_path, sink=jsonl, batch_size=64)
+
+    print(
+        f"  classified {report.n_classified}/{report.n_reads} reads in "
+        f"{report.n_batches} streamed batches -> {report_path}"
+    )
     print("\nfirst lines of the report:")
     for line in report_path.read_text().splitlines()[:6]:
         print("   ", line)
+    print(f"\nJSONL copy at {jsonl_path} ({jsonl_path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

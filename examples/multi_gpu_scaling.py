@@ -1,13 +1,14 @@
 #!/usr/bin/env python
 """Multi-GPU database distribution and on-the-fly operation.
 
-Demonstrates the paper's operational story end to end:
+Demonstrates the paper's operational story end to end, through the
+:mod:`repro.api` facade plus the simulated GPU substrate:
 
 1. a reference set too big for one (artificially small) device forces
    partitioning -- the same reason AFS31+RefSeq202 needs 8 V100s;
-2. the build distributes targets across devices and the query merges
-   per-device top hits along the ring (Fig. 2), with results
-   *identical* to a single-partition database;
+2. ``MetaCache.ephemeral`` distributes targets across devices and a
+   session's query merges per-device top hits along the ring (Fig. 2),
+   with results *identical* to a single-partition database;
 3. on-the-fly mode makes the freshly built database queryable in one
    step, and the cost model projects what that buys on a real DGX-1.
 
@@ -16,14 +17,13 @@ Run:  python examples/multi_gpu_scaling.py
 
 import numpy as np
 
-from repro.core import Database, MetaCacheParams, classify_reads, query_database
+from repro.api import MetaCache
 from repro.genomics import GenomeSimulator, ReadSimulator
 from repro.genomics.reads import HISEQ
 from repro.gpu import Device, DeviceSpec, OutOfDeviceMemory
 from repro.gpu.costmodel import DGX1_COST_MODEL
 from repro.gpu.topology import MultiGpuNode
 from repro.taxonomy import build_taxonomy_for_genomes
-from repro.util.timer import Timer
 
 # a deliberately tiny "GPU" so the mini reference set exceeds one device
 TINY_GPU = DeviceSpec(
@@ -46,13 +46,11 @@ def main() -> None:
     references = [
         (g.name, g.scaffolds[0], taxa.target_taxon[i]) for i, g in enumerate(genomes)
     ]
-    params = MetaCacheParams()
 
     print("attempting the build on a single (tiny) device ...")
     try:
-        Database.build(
-            references, taxonomy, params=params,
-            n_partitions=1, devices=[Device(0, TINY_GPU)],
+        MetaCache.ephemeral(
+            references, taxonomy, n_partitions=1, devices=[Device(0, TINY_GPU)]
         )
         print("  unexpectedly fit!")
     except OutOfDeviceMemory as exc:
@@ -61,40 +59,37 @@ def main() -> None:
     for n_gpus in (2, 4):
         devices = [Device(i, TINY_GPU) for i in range(n_gpus)]
         try:
-            with Timer() as t:
-                db = Database.build(
-                    references, taxonomy, params=params,
-                    n_partitions=n_gpus, devices=devices,
-                )
+            mc = MetaCache.ephemeral(
+                references, taxonomy, n_partitions=n_gpus, devices=devices
+            )
         except OutOfDeviceMemory as exc:
             print(f"{n_gpus} devices: still does not fit ({exc})")
             continue
         per_dev = [d.memory.allocated_bytes / 1e6 for d in devices]
         print(
-            f"{n_gpus} devices: built in {t.elapsed:.2f} s, "
+            f"{n_gpus} devices: built in {mc.time_to_query:.2f} s, "
             f"per-device MB: {[f'{x:.1f}' for x in per_dev]}"
         )
         reads = ReadSimulator(genomes, seed=5).simulate(HISEQ, 500)
         node = MultiGpuNode.dgx1(n_gpus, spec=TINY_GPU)
-        result = query_database(db, reads.sequences, node=node)
-        cls = classify_reads(db, result.candidates)
+        run = mc.session(node=node).classify(reads.sequences)
         print(
-            f"  ring query classified {cls.n_classified}/500 reads "
+            f"  ring query classified {run.n_classified}/500 reads "
             f"(stages: "
             + ", ".join(
-                f"{k} {v * 1e3:.0f}ms" for k, v in result.stages.stages.items()
+                f"{k} {v * 1e3:.0f}ms" for k, v in run.report.stages.items()
             )
             + ")"
         )
-        db.release_devices()
+        mc.close()
 
     # cross-check: partitioned result == single-partition result
-    db1 = Database.build(references, taxonomy, params=params, n_partitions=1)
-    db4 = Database.build(references, taxonomy, params=params, n_partitions=4)
+    mc1 = MetaCache.ephemeral(references, taxonomy, n_partitions=1)
+    mc4 = MetaCache.ephemeral(references, taxonomy, n_partitions=4)
     reads = ReadSimulator(genomes, seed=5).simulate(HISEQ, 500)
-    c1 = classify_reads(db1, query_database(db1, reads.sequences).candidates)
-    c4 = classify_reads(db4, query_database(db4, reads.sequences).candidates)
-    assert np.array_equal(c1.taxon, c4.taxon)
+    c1 = mc1.classify(reads.sequences)
+    c4 = mc4.classify(reads.sequences)
+    assert np.array_equal(c1.classification.taxon, c4.classification.taxon)
     print("\npartitioned and single-partition classifications are identical")
 
     print("\nprojected on a real DGX-1 (RefSeq 202, 74 GB):")

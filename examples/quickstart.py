@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: build a database, classify reads, inspect the results.
 
-This is the 60-second tour of the public API:
+This is the 60-second tour of the public API (:mod:`repro.api`):
 
 1. simulate a small reference genome collection (stand-in for
    downloading RefSeq genomes);
-2. build the taxonomy and the minhash k-mer database;
-3. simulate a sequencing run and classify the reads;
+2. build the taxonomy and an in-memory (on-the-fly) database through
+   the :class:`MetaCache` facade;
+3. simulate a sequencing run and classify the reads in a session;
 4. print per-read assignments and summary accuracy.
 
 Run:  python examples/quickstart.py
@@ -14,13 +15,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import (
-    Database,
-    MetaCacheParams,
-    classify_reads,
-    evaluate_accuracy,
-    query_database,
-)
+from repro.api import MetaCache, evaluate_accuracy
 from repro.genomics import GenomeSimulator, ReadSimulator
 from repro.genomics.reads import HISEQ
 from repro.taxonomy import build_taxonomy_for_genomes
@@ -39,39 +34,36 @@ def main() -> None:
     references = [
         (g.name, g.scaffolds[0], taxa.target_taxon[i]) for i, g in enumerate(genomes)
     ]
-    params = MetaCacheParams()
-    db = Database.build(references, taxonomy, params=params, n_partitions=2)
+    mc = MetaCache.ephemeral(references, taxonomy, n_partitions=2)
+    info = mc.info()
     print(
-        f"  database: {db.n_targets} targets, {db.total_windows:,} windows, "
-        f"{db.nbytes / 1e6:.1f} MB in {db.n_partitions} partitions"
+        f"  database: {info.n_targets} targets, {info.total_windows:,} windows, "
+        f"{info.index_bytes / 1e6:.1f} MB in {info.n_partitions} partitions "
+        f"(time-to-query {mc.time_to_query:.2f} s)"
     )
 
     # -- 3. sequence a mock sample and classify ----------------------------
     print("simulating a HiSeq-like sequencing run ...")
     reads = ReadSimulator(genomes, seed=7).simulate(HISEQ, 1000)
-    result = query_database(db, reads.sequences)
-    classification = classify_reads(db, result.candidates)
-    print(f"  classified {classification.n_classified} / {len(reads)} reads")
+    session = mc.session()
+    run = session.classify(reads.sequences)
+    print(f"  classified {run.n_classified} / {len(reads)} reads")
 
     # -- 4. inspect results -------------------------------------------------
     print("\nfirst five reads:")
-    for i in range(5):
-        taxon = int(classification.taxon[i])
-        if taxon == 0:
-            print(f"  read {i}: unclassified")
+    for rec in run.records[:5]:
+        if not rec.classified:
+            print(f"  {rec.header}: unclassified")
             continue
-        name = db.taxonomy.name_of(taxon)
-        target = int(classification.best_target[i])
-        w0 = int(classification.best_window_first[i])
-        w1 = int(classification.best_window_last[i])
         print(
-            f"  read {i}: {name!r} (score {classification.top_score[i]}, "
-            f"mapped to target {target} windows [{w0},{w1}])"
+            f"  {rec.header}: {rec.taxon_name!r} (score {rec.score}, "
+            f"mapped to target {rec.target} windows "
+            f"[{rec.window_first},{rec.window_last}])"
         )
 
     true_species = np.array([taxa.species_taxon[t] for t in reads.true_target])
     true_genus = np.array([taxa.genus_taxon[t] for t in reads.true_target])
-    report = evaluate_accuracy(taxonomy, classification, true_species, true_genus)
+    report = evaluate_accuracy(taxonomy, run.classification, true_species, true_genus)
     print("\naccuracy vs simulation ground truth:")
     print(
         f"  species: precision {report.species.precision:6.1%}  "

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """Interactive sessions and read mapping (the paper's extensions).
 
-Two features beyond plain classification:
+Two features beyond plain classification, both through the
+:mod:`repro.api` session object:
 
 - **interactive query session** (Section 4): the database stays in
   memory across an arbitrary number of query batches, each with its
   own decision-rule parameters -- here a precision-oriented pass and
-  a sensitivity-oriented pass over the same sample;
+  a sensitivity-oriented pass over the same sample, derived from the
+  database defaults with ``ClassificationParams.replace``;
 - **read mapping** (Section 6.2 / conclusion): MetaCache reports the
   most likely *region of origin*, not just a taxon label; a diagonal-
   voting seed check then verifies the mapping at base resolution --
@@ -17,13 +19,7 @@ Run:  python examples/read_mapping_session.py
 
 import numpy as np
 
-from repro.core import (
-    ClassificationParams,
-    Database,
-    MetaCacheParams,
-    QuerySession,
-)
-from repro.core.mapping import refine_mapping
+from repro.api import MetaCache, refine_mapping
 from repro.genomics import GenomeSimulator
 from repro.taxonomy import build_taxonomy_for_genomes
 from repro.util.rng import derive_rng
@@ -37,8 +33,9 @@ def main() -> None:
     references = [
         (g.name, g.scaffolds[0], taxa.target_taxon[i]) for i, g in enumerate(genomes)
     ]
-    db = Database.build(references, taxonomy, params=MetaCacheParams())
-    session = QuerySession(db)
+    mc = MetaCache.ephemeral(references, taxonomy)
+    session = mc.session()
+    defaults = mc.params.classification
 
     # reads with known positions so we can check the mappings
     rng = derive_rng(77, "mapping-demo")
@@ -55,15 +52,11 @@ def main() -> None:
         truth.append((t, pos))
 
     print("pass 1: precision-oriented classification (min_hits=8)")
-    strict, _ = session.classify(
-        reads, classification=ClassificationParams(min_hits=8)
-    )
+    strict = session.classify(reads, params=defaults.replace(min_hits=8))
     print(f"  classified {strict.n_classified}/400")
 
     print("pass 2: sensitivity-oriented classification (min_hits=2)")
-    lax, _ = session.classify(
-        reads, classification=ClassificationParams(min_hits=2)
-    )
+    lax = session.classify(reads, params=defaults.replace(min_hits=2))
     print(f"  classified {lax.n_classified}/400")
     print(f"  session so far: {session.summary()}")
 

@@ -8,6 +8,9 @@ and on-the-fly (build-then-query-immediately) operation.
 
 Package map (details in README.md / DESIGN.md):
 
+- :mod:`repro.api`       -- the stable public surface: the
+  :class:`~repro.api.MetaCache` facade, query sessions, streaming
+  classification, typed results, pluggable output sinks, errors
 - :mod:`repro.core`      -- the classifier itself (the paper's contribution)
 - :mod:`repro.warpcore`  -- the hash-table family incl. the multi-bucket layout
 - :mod:`repro.hashing`   -- h1/h2 hashes and minhash sketching
@@ -19,6 +22,7 @@ Package map (details in README.md / DESIGN.md):
 - :mod:`repro.baselines` -- Kraken2-style and MetaCache-CPU baselines
 - :mod:`repro.bench`     -- harness regenerating every paper table/figure
 - :mod:`repro.cli`       -- ``metacache-repro build|query|info|merge``
+  (a thin client of :mod:`repro.api`; also ``python -m repro``)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,130 @@
+"""``repro.api`` -- the stable public surface of the reproduction.
+
+The rest of the package (:mod:`repro.core`, :mod:`repro.warpcore`,
+:mod:`repro.gpu`, ...) is internal machinery that may be refactored
+freely between releases; code outside ``src/repro`` should talk to
+this facade only.  The full tour lives in README.md; the short one:
+
+    from repro.api import MetaCache, TsvSink
+
+    mc = MetaCache.open("path/to/db")           # or .build(...) / .ephemeral(...)
+    session = mc.session()                      # warm, reusable
+    run = session.classify(reads)               # typed records
+    for rec in run:
+        print(rec.header, rec.taxon_name, rec.score)
+
+    with TsvSink("out.tsv") as sink:            # streaming, bounded memory
+        report = session.classify_files("sample.fastq.gz", sink=sink)
+
+Exports fall into four groups:
+
+- **facade & sessions**: :class:`MetaCache`, :class:`QuerySession`,
+  :func:`iter_batches`;
+- **typed results**: :class:`ReadClassification`, :class:`RunReport`,
+  :class:`ClassificationRun`, :class:`DatabaseInfo` (plus the raw
+  :class:`Classification` / :class:`QueryResult` for array workflows);
+- **sinks**: the :class:`Sink` protocol, TSV/JSONL/Kraken
+  implementations, :func:`open_sink` / :func:`register_sink`;
+- **errors & parameters**: the :class:`MetaCacheError` hierarchy,
+  :class:`MetaCacheParams` / :class:`ClassificationParams` /
+  :class:`SketchParams`, and curated analysis helpers (accuracy,
+  abundance, mapping refinement, partition-run merging).
+"""
+
+from repro.api.errors import (
+    DatabaseFormatError,
+    InvalidMappingError,
+    InvalidReadError,
+    MetaCacheError,
+    UnknownFormatError,
+)
+from repro.api.facade import MetaCache, load_accession_mapping
+from repro.api.records import (
+    ClassificationRun,
+    DatabaseInfo,
+    ReadClassification,
+    RunReport,
+)
+from repro.api.session import DEFAULT_BATCH_SIZE, QuerySession, iter_batches
+from repro.api.sinks import (
+    CollectSink,
+    JsonlSink,
+    KrakenSink,
+    Sink,
+    TextSink,
+    TsvSink,
+    open_sink,
+    read_jsonl,
+    read_kraken,
+    read_tsv,
+    register_sink,
+    sink_formats,
+)
+
+# parameter / result types callers hold (stable re-exports)
+from repro.core.classify import Classification
+from repro.core.config import ClassificationParams, MetaCacheParams
+from repro.core.query import QueryResult
+from repro.hashing.sketch import SketchParams
+
+# curated analysis helpers riding on the classification results
+from repro.core.abundance import (
+    abundance_deviation,
+    estimate_abundances,
+    estimate_abundances_from_counts,
+)
+from repro.core.mapping import ReadMapping, refine_mapping
+from repro.core.merge import load_candidates, merge_partition_runs, save_candidates
+from repro.core.stats import AccuracyReport, evaluate_accuracy
+from repro.genomics.io import read_sequences
+
+__all__ = [
+    # facade & sessions
+    "MetaCache",
+    "QuerySession",
+    "iter_batches",
+    "DEFAULT_BATCH_SIZE",
+    "load_accession_mapping",
+    # typed results
+    "ReadClassification",
+    "RunReport",
+    "ClassificationRun",
+    "DatabaseInfo",
+    "Classification",
+    "QueryResult",
+    # sinks
+    "Sink",
+    "TextSink",
+    "TsvSink",
+    "JsonlSink",
+    "KrakenSink",
+    "CollectSink",
+    "open_sink",
+    "register_sink",
+    "sink_formats",
+    "read_tsv",
+    "read_jsonl",
+    "read_kraken",
+    # errors
+    "MetaCacheError",
+    "DatabaseFormatError",
+    "InvalidReadError",
+    "InvalidMappingError",
+    "UnknownFormatError",
+    # parameters
+    "MetaCacheParams",
+    "ClassificationParams",
+    "SketchParams",
+    # analysis helpers
+    "evaluate_accuracy",
+    "AccuracyReport",
+    "estimate_abundances",
+    "estimate_abundances_from_counts",
+    "abundance_deviation",
+    "ReadMapping",
+    "refine_mapping",
+    "merge_partition_runs",
+    "save_candidates",
+    "load_candidates",
+    "read_sequences",
+]

@@ -1,0 +1,22 @@
+"""Re-export of the exception hierarchy under the public API namespace.
+
+The classes live in :mod:`repro.errors` so low-level modules can raise
+them without importing the facade; ``repro.api.errors`` is the
+documented import location.
+"""
+
+from repro.errors import (
+    DatabaseFormatError,
+    InvalidMappingError,
+    InvalidReadError,
+    MetaCacheError,
+    UnknownFormatError,
+)
+
+__all__ = [
+    "MetaCacheError",
+    "DatabaseFormatError",
+    "InvalidReadError",
+    "InvalidMappingError",
+    "UnknownFormatError",
+]

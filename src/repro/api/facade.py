@@ -1,0 +1,255 @@
+"""The :class:`MetaCache` facade -- one object, three ways to get it.
+
+- :meth:`MetaCache.open`      -- load a saved database directory;
+- :meth:`MetaCache.build`     -- reference FASTA files + taxonomy dumps
+  + accession->taxid mapping, through the threaded build pipeline;
+- :meth:`MetaCache.ephemeral` -- the paper's on-the-fly mode: build an
+  in-memory database from already-parsed references in seconds and
+  query it immediately, no disk round trip (Sections 4, 6.3).
+
+Everything downstream (the CLI, the examples, future serving layers)
+talks to this facade and the :class:`~repro.api.session.QuerySession`
+it hands out, so sharding / async serving / caching can be added
+behind this surface without breaking callers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.records import ClassificationRun, DatabaseInfo
+from repro.api.session import QuerySession
+from repro.core.build import build_from_fasta
+from repro.core.config import ClassificationParams, MetaCacheParams
+from repro.core.database import Database
+from repro.core.io import load_database, save_database
+from repro.errors import DatabaseFormatError, InvalidMappingError
+from repro.genomics.alphabet import encode_sequence
+from repro.taxonomy.ncbi import load_ncbi_dump
+from repro.taxonomy.tree import Taxonomy
+from repro.util.timer import Timer
+
+__all__ = ["MetaCache", "load_accession_mapping"]
+
+
+def load_accession_mapping(path: str | os.PathLike) -> dict[str, int]:
+    """Parse an accession2taxid-style TSV (``accession <tab> taxid``)."""
+    mapping: dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 2:
+                raise InvalidMappingError(
+                    f"{path}:{lineno}: expected 'accession\\ttaxid'"
+                )
+            try:
+                mapping[parts[0]] = int(parts[1])
+            except ValueError:
+                raise InvalidMappingError(
+                    f"{path}:{lineno}: taxid {parts[1]!r} is not an integer"
+                ) from None
+    return mapping
+
+
+def _resolve_taxonomy(taxonomy: Taxonomy | str | os.PathLike) -> Taxonomy:
+    """Accept a Taxonomy object or a directory of NCBI dump files."""
+    if isinstance(taxonomy, Taxonomy):
+        return taxonomy
+    directory = Path(taxonomy)
+    return load_ncbi_dump(directory / "nodes.dmp", directory / "names.dmp")
+
+
+class MetaCache:
+    """A queryable MetaCache database behind one stable handle.
+
+    Construct via :meth:`open`, :meth:`build` or :meth:`ephemeral`
+    (wrapping an existing :class:`~repro.core.database.Database` with
+    the plain constructor also works).  Query via :meth:`session` /
+    :meth:`classify`; persist via :meth:`save`.  Usable as a context
+    manager -- ``close()`` releases any simulated device allocations.
+    """
+
+    def __init__(self, database: Database, *, build_seconds: float = 0.0) -> None:
+        self.database = database
+        self._build_seconds = build_seconds
+        self._default_session: QuerySession | None = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, *, devices=None) -> "MetaCache":
+        """Load a saved database directory (condensed query layout).
+
+        Raises :class:`repro.errors.DatabaseFormatError` when the
+        directory is missing, truncated, or has the wrong version.
+        """
+        try:
+            with Timer() as t:
+                db = load_database(path, devices=devices)
+        except DatabaseFormatError:
+            raise
+        except FileNotFoundError as exc:
+            if Path(path, "database.meta").is_file():
+                raise DatabaseFormatError(
+                    f"truncated database at {path}: {exc}"
+                ) from exc
+            raise DatabaseFormatError(f"no database at {path} ({exc})") from exc
+        except json.JSONDecodeError as exc:
+            raise DatabaseFormatError(f"{path}: corrupt metadata ({exc})") from exc
+        return cls(db, build_seconds=t.elapsed)
+
+    @classmethod
+    def build(
+        cls,
+        refs: Sequence[str | os.PathLike],
+        taxonomy: Taxonomy | str | os.PathLike,
+        mapping: Mapping[str, int] | str | os.PathLike,
+        params: MetaCacheParams | None = None,
+        *,
+        n_partitions: int = 1,
+        devices=None,
+        batch_size: int = 32,
+    ) -> "MetaCache":
+        """Build from reference FASTA files through the threaded pipeline.
+
+        ``taxonomy`` may be a :class:`Taxonomy` or a directory holding
+        ``nodes.dmp``/``names.dmp``; ``mapping`` a dict or a TSV path.
+        """
+        tax = _resolve_taxonomy(taxonomy)
+        if not isinstance(mapping, Mapping):
+            mapping = load_accession_mapping(mapping)
+        with Timer() as t:
+            db = build_from_fasta(
+                refs,
+                tax,
+                dict(mapping),
+                params=params,
+                n_partitions=n_partitions,
+                devices=devices,
+                batch_size=batch_size,
+            )
+        return cls(db, build_seconds=t.elapsed)
+
+    @classmethod
+    def ephemeral(
+        cls,
+        references: Iterable[tuple[str, "np.ndarray | str", int]],
+        taxonomy: Taxonomy | str | os.PathLike,
+        params: MetaCacheParams | None = None,
+        *,
+        n_partitions: int = 1,
+        devices=None,
+    ) -> "MetaCache":
+        """On-the-fly mode: in-memory build, queryable immediately.
+
+        ``references`` are ``(name, sequence, taxon_id)`` triples with
+        the sequence either an encoded uint8 array or a plain string.
+        The hash table stays in the build layout (~20% slower queries
+        than the condensed layout, Fig. 4) but there is no write+load
+        cycle at all -- ``time_to_query`` is just the build.
+        """
+        tax = _resolve_taxonomy(taxonomy)
+        refs = [
+            (name, encode_sequence(seq) if isinstance(seq, str) else seq, taxon)
+            for name, seq, taxon in references
+        ]
+        with Timer() as t:
+            db = Database.build(
+                refs,
+                tax,
+                params=params,
+                n_partitions=n_partitions,
+                devices=devices,
+            )
+        return cls(db, build_seconds=t.elapsed)
+
+    # ---------------------------------------------------------------- queries
+
+    def session(
+        self,
+        params: ClassificationParams | None = None,
+        *,
+        node=None,
+    ) -> QuerySession:
+        """Open a warm query session (cheap; make as many as you like)."""
+        return QuerySession(self.database, params=params, node=node)
+
+    def classify(self, reads, mates=None, **kwargs) -> ClassificationRun:
+        """One-shot convenience: classify through a shared default session."""
+        if self._default_session is None:
+            self._default_session = self.session()
+        return self._default_session.classify(reads, mates, **kwargs)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | os.PathLike) -> list[Path]:
+        """Write the database directory; returns the files created."""
+        return save_database(self.database, path)
+
+    # -------------------------------------------------------------- metadata
+
+    @property
+    def params(self) -> MetaCacheParams:
+        return self.database.params
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        return self.database.taxonomy
+
+    @property
+    def n_targets(self) -> int:
+        return self.database.n_targets
+
+    @property
+    def n_partitions(self) -> int:
+        return self.database.n_partitions
+
+    @property
+    def total_windows(self) -> int:
+        return self.database.total_windows
+
+    @property
+    def time_to_query(self) -> float:
+        """Seconds from cold start until queries could run (Table 5)."""
+        return self._build_seconds
+
+    def info(self) -> DatabaseInfo:
+        db, p = self.database, self.database.params
+        return DatabaseInfo(
+            n_targets=db.n_targets,
+            total_windows=db.total_windows,
+            n_partitions=db.n_partitions,
+            n_taxa=len(db.taxonomy),
+            index_bytes=db.nbytes,
+            k=p.sketch.k,
+            sketch_size=p.sketch.sketch_size,
+            window_size=p.sketch.window_size,
+            window_stride=p.window_stride,
+            max_locations_per_feature=p.max_locations_per_feature,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release simulated device allocations (safe to call twice)."""
+        self.database.release_devices()
+
+    def __enter__(self) -> "MetaCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetaCache({self.n_targets} targets, {self.total_windows:,} windows, "
+            f"{self.n_partitions} partition(s))"
+        )

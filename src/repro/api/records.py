@@ -1,0 +1,198 @@
+"""Typed result records of the public API.
+
+Everything a caller sees coming out of a classification run is one of
+these dataclasses -- no poking into parallel numpy arrays by index.
+The raw vectorized objects (:class:`repro.core.classify.Classification`
+and :class:`repro.core.query.QueryResult`) remain reachable through
+:class:`ClassificationRun` for numeric workflows that want arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported for typing only; records stay layer-free
+    from repro.core.classify import Classification
+    from repro.core.database import Database
+    from repro.core.query import QueryResult
+
+__all__ = [
+    "ReadClassification",
+    "RunReport",
+    "ClassificationRun",
+    "DatabaseInfo",
+    "records_from_classification",
+]
+
+UNCLASSIFIED_NAME = "unclassified"
+
+
+@dataclass(frozen=True)
+class ReadClassification:
+    """One read's classification outcome.
+
+    ``taxon_id`` is 0 for unclassified reads (NCBI ids start at 1);
+    ``target``/``window_first``/``window_last`` preserve MetaCache's
+    ability to report the likely *region of origin*, not just a label.
+    """
+
+    header: str
+    taxon_id: int
+    taxon_name: str
+    rank: str
+    score: int
+    target: int
+    window_first: int
+    window_last: int
+    read_length: int = 0
+
+    @property
+    def classified(self) -> bool:
+        return self.taxon_id != 0
+
+    @classmethod
+    def unclassified(cls, header: str, read_length: int = 0) -> "ReadClassification":
+        return cls(
+            header=header,
+            taxon_id=0,
+            taxon_name=UNCLASSIFIED_NAME,
+            rank="-",
+            score=0,
+            target=-1,
+            window_first=0,
+            window_last=0,
+            read_length=read_length,
+        )
+
+
+@dataclass
+class RunReport:
+    """Aggregate statistics of a classification run.
+
+    One report per :meth:`QuerySession.classify` call; streaming calls
+    merge per-batch reports into a single run-level report.  ``stages``
+    holds the query pipeline's per-stage seconds (sketch, query,
+    compact, segmented_sort, window_count_top, merge -- the Fig. 5
+    breakdown); ``taxon_counts`` accumulates classified reads per
+    assigned taxon so abundance estimation works without retaining
+    per-read records.
+    """
+
+    n_reads: int = 0
+    n_classified: int = 0
+    n_batches: int = 0
+    max_batch_reads: int = 0
+    total_seconds: float = 0.0
+    stages: dict[str, float] = field(default_factory=dict)
+    taxon_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_unclassified(self) -> int:
+        return self.n_reads - self.n_classified
+
+    @property
+    def classification_rate(self) -> float:
+        return self.n_classified / self.n_reads if self.n_reads else float("nan")
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return float("nan")
+        return self.n_reads / self.total_seconds
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """Fold another (batch) report into this one, in place."""
+        self.n_reads += other.n_reads
+        self.n_classified += other.n_classified
+        self.n_batches += other.n_batches
+        self.max_batch_reads = max(self.max_batch_reads, other.max_batch_reads)
+        self.total_seconds += other.total_seconds
+        for name, seconds in other.stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
+        for taxon, count in other.taxon_counts.items():
+            self.taxon_counts[taxon] = self.taxon_counts.get(taxon, 0) + count
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_reads} reads in {self.n_batches} batch(es), "
+            f"{self.n_classified} classified ({self.classification_rate:.1%}), "
+            f"{self.reads_per_second:,.0f} reads/s"
+        )
+
+
+@dataclass
+class ClassificationRun:
+    """One classify call's full output: typed records + report + raw arrays.
+
+    Iterating the run iterates its per-read records, so
+    ``for rec in session.classify(reads): ...`` just works.
+    """
+
+    records: list[ReadClassification]
+    report: RunReport
+    classification: "Classification"
+    query: "QueryResult | None" = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ReadClassification]:
+        return iter(self.records)
+
+    def __getitem__(self, i: int) -> ReadClassification:
+        return self.records[i]
+
+    @property
+    def n_classified(self) -> int:
+        return self.report.n_classified
+
+
+@dataclass(frozen=True)
+class DatabaseInfo:
+    """Summary of an opened database (the CLI's ``info`` output)."""
+
+    n_targets: int
+    total_windows: int
+    n_partitions: int
+    n_taxa: int
+    index_bytes: int
+    k: int
+    sketch_size: int
+    window_size: int
+    window_stride: int
+    max_locations_per_feature: int
+
+
+def records_from_classification(
+    db: "Database",
+    headers: list[str],
+    classification: "Classification",
+    read_lengths: np.ndarray | None = None,
+) -> list[ReadClassification]:
+    """Resolve a vectorized Classification into per-read records."""
+    records: list[ReadClassification] = []
+    taxa = classification.taxon
+    for i, header in enumerate(headers):
+        length = int(read_lengths[i]) if read_lengths is not None else 0
+        taxon = int(taxa[i])
+        if taxon == 0:
+            records.append(ReadClassification.unclassified(header, length))
+            continue
+        records.append(
+            ReadClassification(
+                header=header,
+                taxon_id=taxon,
+                taxon_name=db.taxonomy.name_of(taxon),
+                rank=db.lineages.rank_resolved(taxon).name.lower(),
+                score=int(classification.top_score[i]),
+                target=int(classification.best_target[i]),
+                window_first=int(classification.best_window_first[i]),
+                window_last=int(classification.best_window_last[i]),
+                read_length=length,
+            )
+        )
+    return records

@@ -1,0 +1,362 @@
+"""Warm query sessions: classify many batches against one database.
+
+"querying can be executed ... in an interactive session, which holds
+the database in memory and allows for performing an arbitrary number
+of queries in succession" (Section 4).  :class:`QuerySession` is that
+mode for the public API: it owns the database reference, the default
+decision-rule parameters and the (optional) simulated multi-GPU node,
+and exposes three classification shapes:
+
+- :meth:`classify` -- one in-memory batch, typed records back;
+- :meth:`classify_iter` -- a lazy generator over an iterable of
+  batches: only one batch of reads is ever materialized, so millions
+  of reads stream through bounded memory;
+- :meth:`classify_files` -- FASTA/FASTQ file(s) pushed through the
+  :mod:`repro.pipeline` producer/consumer machinery into a
+  :class:`~repro.api.sinks.Sink`.
+
+Per-read results are identical across the three shapes (candidate
+generation and the top-hit/LCA rule are per-read), which the test
+suite asserts down to byte-identical TSV output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.api.records import (
+    ClassificationRun,
+    ReadClassification,
+    RunReport,
+    records_from_classification,
+)
+from repro.api.sinks import Sink
+from repro.core.classify import Classification, classify_reads
+from repro.core.config import ClassificationParams
+from repro.core.database import Database
+from repro.core.mapping import ReadMapping, map_reads
+from repro.core.query import query_database
+from repro.errors import InvalidReadError
+from repro.genomics.alphabet import encode_sequence
+from repro.genomics.io import iter_sequence_records
+from repro.pipeline.batch import SequenceBatch
+from repro.pipeline.queues import ClosableQueue
+from repro.pipeline.scheduler import run_producer_consumer
+
+__all__ = ["QuerySession", "iter_batches", "DEFAULT_BATCH_SIZE"]
+
+DEFAULT_BATCH_SIZE = 4096
+
+
+def iter_batches(reads: Iterable, batch_size: int) -> Iterator[list]:
+    """Chunk any read iterable into lists of at most ``batch_size``.
+
+    Lazy: pulls from ``reads`` only as batches are consumed, so it
+    composes with :meth:`QuerySession.classify_iter` into a bounded-
+    memory streaming pipeline.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    it = iter(reads)
+    while True:
+        batch = list(itertools.islice(it, batch_size))
+        if not batch:
+            return
+        yield batch
+
+
+def _coerce_read(read, index: int) -> tuple[str | None, np.ndarray]:
+    """Accept the read shapes the API supports; returns (header, codes).
+
+    Supported: encoded ``np.ndarray``, plain sequence ``str``,
+    ``(header, sequence)`` pairs, and any object with ``header`` and
+    ``sequence`` attributes (``FastaRecord``/``FastqRecord``).
+    """
+    if isinstance(read, np.ndarray):
+        return None, read
+    if isinstance(read, str):
+        return None, encode_sequence(read)
+    if isinstance(read, tuple) and len(read) == 2:
+        header, seq = read
+        if not isinstance(header, str):
+            raise InvalidReadError(
+                f"read {index}: pair form must be (header: str, sequence), "
+                f"got header of type {type(header).__name__}"
+            )
+        return header, _coerce_read(seq, index)[1]
+    if hasattr(read, "header") and hasattr(read, "sequence"):
+        return str(read.header), _coerce_read(read.sequence, index)[1]
+    raise InvalidReadError(
+        f"read {index}: unsupported type {type(read).__name__} "
+        "(expected ndarray, str, (header, sequence) or FASTA/FASTQ record)"
+    )
+
+
+def _coerce_batch(
+    reads, id_offset: int
+) -> tuple[list[str], list[np.ndarray]]:
+    """Normalize a batch into (headers, encoded sequences)."""
+    if isinstance(reads, SequenceBatch):
+        return list(reads.headers), list(reads.sequences)
+    headers: list[str] = []
+    seqs: list[np.ndarray] = []
+    for i, read in enumerate(reads):
+        header, codes = _coerce_read(read, i)
+        headers.append(header if header is not None else f"read_{id_offset + i}")
+        seqs.append(codes)
+    return headers, seqs
+
+
+def _empty_classification() -> Classification:
+    z = np.zeros(0, dtype=np.int64)
+    return Classification(z, z.copy(), z.copy(), z.copy(), z.copy())
+
+
+class QuerySession:
+    """Holds warm state (database + parameters) for repeated queries.
+
+    Sessions are cheap views over a database; open as many as needed
+    with different parameters.  ``session.report`` accumulates a
+    merged :class:`RunReport` across every call, mirroring the
+    interactive-session statistics of the original tool.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        params: ClassificationParams | None = None,
+        node=None,
+    ) -> None:
+        self.database = database
+        self.params = params or database.params.classification
+        self.node = node
+        self.report = RunReport()
+        self.n_queries = 0
+
+    # ------------------------------------------------------------ one batch
+
+    def classify(
+        self,
+        reads,
+        mates=None,
+        *,
+        params: ClassificationParams | None = None,
+        node=None,
+        _id_offset: int = 0,
+    ) -> ClassificationRun:
+        """Classify one in-memory batch of reads.
+
+        ``params`` overrides the session's decision rule for this call
+        only; sketching parameters always come from the database (they
+        are baked into the index).
+        """
+        cp = params or self.params
+        headers, seqs = _coerce_batch(reads, _id_offset)
+        mate_seqs = None
+        if mates is not None:
+            _, mate_seqs = _coerce_batch(mates, _id_offset)
+            if len(mate_seqs) != len(seqs):
+                raise InvalidReadError(
+                    f"mate batch has {len(mate_seqs)} reads, expected {len(seqs)}"
+                )
+
+        report = RunReport(n_batches=1, max_batch_reads=len(seqs))
+        if not seqs:
+            run = ClassificationRun([], report, _empty_classification(), None)
+            self._account(report)
+            return run
+
+        query_params = self.database.params.replace(classification=cp)
+        result = query_database(
+            self.database,
+            seqs,
+            mates=mate_seqs,
+            params=query_params,
+            node=node if node is not None else self.node,
+        )
+        cls = classify_reads(self.database, result.candidates, cp)
+        records = records_from_classification(
+            self.database, headers, cls, result.read_lengths
+        )
+        report.n_reads = result.n_reads
+        report.n_classified = cls.n_classified
+        report.total_seconds = result.stages.total
+        report.stages = dict(result.stages.stages)
+        for t in cls.taxon[cls.classified_mask].tolist():
+            report.taxon_counts[int(t)] = report.taxon_counts.get(int(t), 0) + 1
+        self._account(report)
+        return ClassificationRun(records, report, cls, result)
+
+    # ------------------------------------------------------------ streaming
+
+    def classify_iter(
+        self,
+        batches: Iterable,
+        *,
+        params: ClassificationParams | None = None,
+        node=None,
+    ) -> Iterator[ClassificationRun]:
+        """Lazily classify an iterable of batches, yielding per-batch runs.
+
+        Each batch may be a list of reads (any shape :meth:`classify`
+        accepts), a :class:`~repro.pipeline.batch.SequenceBatch`, or a
+        ``(reads, mates)`` pair for paired-end data.  Batches are
+        pulled one at a time, so peak resident reads equal the largest
+        single batch -- feed it :func:`iter_batches` over a generator
+        and millions of reads stream through constant memory.
+        """
+        offset = 0
+        for batch in batches:
+            reads, mates = batch, None
+            if (
+                isinstance(batch, tuple)
+                and len(batch) == 2
+                and not isinstance(batch[0], str)
+            ):
+                reads, mates = batch
+            run = self.classify(
+                reads, mates, params=params, node=node, _id_offset=offset
+            )
+            offset += len(run.records)
+            yield run
+
+    def classify_to(
+        self,
+        batches: Iterable,
+        sink: Sink,
+        *,
+        params: ClassificationParams | None = None,
+        node=None,
+    ) -> RunReport:
+        """Stream batches into a sink; returns the merged run report."""
+        total = RunReport()
+        for run in self.classify_iter(batches, params=params, node=node):
+            for rec in run.records:
+                sink.write(rec)
+            total.merge(run.report)
+        return total
+
+    def classify_files(
+        self,
+        reads_path,
+        mates_path=None,
+        *,
+        sink: Sink | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        params: ClassificationParams | None = None,
+        node=None,
+        queue_depth: int = 4,
+    ) -> RunReport:
+        """Classify FASTA/FASTQ file(s) (plain or gzip'd) into a sink.
+
+        Single-end input runs through the paper's producer/consumer
+        scheme (:mod:`repro.pipeline`): a producer thread parses and
+        encodes the file into bounded :class:`SequenceBatch` chunks
+        while this thread classifies and writes, overlapping I/O with
+        compute exactly like the original's query pipeline.  Paired
+        input zips both files lazily instead (pairing is positional).
+        """
+        if mates_path is not None:
+            batches = self._paired_batches(reads_path, mates_path, batch_size)
+            total = RunReport()
+            for run in self.classify_iter(batches, params=params, node=node):
+                if sink is not None:
+                    for rec in run.records:
+                        sink.write(rec)
+                total.merge(run.report)
+            return total
+
+        # When the consumer dies mid-stream (BrokenPipeError on a closed
+        # stdout, disk-full in the sink, ...) the producer must not stay
+        # blocked on a full queue forever: the consumer sets `cancelled`
+        # and drains the queue so the producer's pending put() returns,
+        # sees the flag, and closes -- letting the scheduler join both
+        # threads and re-raise the consumer's error.
+        cancelled = threading.Event()
+
+        def produce(q: ClosableQueue):
+            try:
+                batch = SequenceBatch()
+                for i, (header, seq) in enumerate(iter_sequence_records(reads_path)):
+                    if cancelled.is_set():
+                        return
+                    batch.append(header, encode_sequence(seq), i)
+                    if len(batch) >= batch_size:
+                        q.put(batch)
+                        batch = SequenceBatch()
+                if len(batch) and not cancelled.is_set():
+                    q.put(batch)
+            finally:
+                q.close_producer()
+
+        def consume(q: ClosableQueue) -> RunReport:
+            total = RunReport()
+            try:
+                for run in self.classify_iter(iter(q), params=params, node=node):
+                    if sink is not None:
+                        for rec in run.records:
+                            sink.write(rec)
+                    total.merge(run.report)
+            except BaseException:
+                cancelled.set()
+                for _ in q:  # unblock the producer, eat to end-of-stream
+                    pass
+                raise
+            return total
+
+        results = run_producer_consumer(
+            producers=[produce], consumers=[consume], queue_size=queue_depth
+        )
+        return results[0]
+
+    def _paired_batches(
+        self, reads_path, mates_path, batch_size: int
+    ) -> Iterator[tuple[list, list]]:
+        pairs = itertools.zip_longest(
+            iter_sequence_records(reads_path),
+            iter_sequence_records(mates_path),
+            fillvalue=None,
+        )
+        for chunk in iter_batches(pairs, batch_size):
+            reads, mates = [], []
+            for r, m in chunk:
+                if r is None or m is None:
+                    raise InvalidReadError(
+                        f"paired files differ in length: {reads_path} vs {mates_path}"
+                    )
+                reads.append(r)
+                mates.append(m)
+            yield reads, mates
+
+    # ------------------------------------------------------------- mapping
+
+    def map(
+        self,
+        reads,
+        mates=None,
+        *,
+        min_hits: int | None = None,
+    ) -> ReadMapping:
+        """Map one batch to candidate reference regions (Section 6.2)."""
+        _, seqs = _coerce_batch(reads, 0)
+        mate_seqs = None
+        if mates is not None:
+            _, mate_seqs = _coerce_batch(mates, 0)
+        mapping = map_reads(
+            self.database, seqs, mates=mate_seqs, min_hits=min_hits
+        )
+        self.n_queries += 1
+        return mapping
+
+    # ------------------------------------------------------------- plumbing
+
+    def _account(self, report: RunReport) -> None:
+        self.n_queries += 1
+        self.report.merge(report)
+
+    def summary(self) -> str:
+        return f"{self.n_queries} queries: {self.report.summary()}"

@@ -1,0 +1,290 @@
+"""Pluggable result sinks: where classification records go.
+
+A :class:`Sink` consumes :class:`~repro.api.records.ReadClassification`
+records one at a time, so the streaming query path never has to hold a
+whole run's output in memory.  Three wire formats ship built in:
+
+- ``tsv``    -- the classic MetaCache per-read table (byte-identical
+  to what the CLI always printed);
+- ``jsonl``  -- one JSON object per read, lossless round-trip;
+- ``kraken`` -- Kraken-style ``C/U <read> <taxid> <length> <hits>``.
+
+plus :class:`CollectSink` which just gathers records in memory.  New
+formats register with :func:`register_sink` and become available to
+``open_sink`` and hence the CLI's ``--format`` flag.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.api.records import ReadClassification
+from repro.errors import UnknownFormatError
+
+__all__ = [
+    "Sink",
+    "TextSink",
+    "TsvSink",
+    "JsonlSink",
+    "KrakenSink",
+    "CollectSink",
+    "open_sink",
+    "register_sink",
+    "sink_formats",
+    "read_tsv",
+    "read_jsonl",
+    "read_kraken",
+]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can consume classification records.
+
+    Lifecycle: ``start()`` once, ``write()`` per record, ``finish()``
+    once (context-manager use does this automatically, closing only
+    handles the sink itself opened).
+    """
+
+    def start(self) -> None: ...
+
+    def write(self, record: ReadClassification) -> None: ...
+
+    def finish(self) -> None: ...
+
+
+class _SinkBase:
+    """Shared lifecycle plumbing (context manager, write_all)."""
+
+    def start(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def finish(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def write(self, record: ReadClassification) -> None:
+        raise NotImplementedError
+
+    def write_all(self, records: Iterable[ReadClassification]) -> int:
+        n = 0
+        for rec in records:
+            self.write(rec)
+            n += 1
+        return n
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+
+class CollectSink(_SinkBase):
+    """Gathers records in memory -- the default for tests and notebooks."""
+
+    def __init__(self) -> None:
+        self.records: list[ReadClassification] = []
+
+    def write(self, record: ReadClassification) -> None:
+        self.records.append(record)
+
+
+class TextSink(_SinkBase):
+    """Base for line-oriented sinks writing to a path or open handle.
+
+    A path (str/PathLike) is opened at ``start()`` and closed at
+    ``finish()``; an already-open handle (e.g. ``sys.stdout``) is
+    written to but never closed.
+    """
+
+    def __init__(self, dest: str | os.PathLike | io.TextIOBase) -> None:
+        self._dest = dest
+        self._handle: io.TextIOBase | None = None
+        self._owns_handle = False
+        self.n_written = 0
+
+    def start(self) -> None:
+        if self._handle is not None:
+            return
+        if isinstance(self._dest, (str, os.PathLike)):
+            self._handle = open(self._dest, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = self._dest
+        header = self.header_line()
+        if header is not None:
+            self._handle.write(header + "\n")
+
+    def finish(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+        self._owns_handle = False
+
+    def write(self, record: ReadClassification) -> None:
+        if self._handle is None:
+            self.start()
+        self._handle.write(self.format_record(record) + "\n")
+        self.n_written += 1
+
+    # -- format hooks ---------------------------------------------------
+    def header_line(self) -> str | None:
+        return None
+
+    def format_record(self, record: ReadClassification) -> str:
+        raise NotImplementedError
+
+
+class TsvSink(TextSink):
+    """The classic per-read TSV table the CLI has always produced."""
+
+    COLUMNS = ("read", "taxon_id", "taxon_name", "rank", "score", "target",
+               "window_range")
+
+    def header_line(self) -> str:
+        return "\t".join(self.COLUMNS)
+
+    def format_record(self, r: ReadClassification) -> str:
+        if not r.classified:
+            return f"{r.header}\t0\tunclassified\t-\t0\t-\t-"
+        return (
+            f"{r.header}\t{r.taxon_id}\t{r.taxon_name}\t{r.rank}\t{r.score}\t"
+            f"{r.target}\t[{r.window_first},{r.window_last}]"
+        )
+
+
+class JsonlSink(TextSink):
+    """One JSON object per read; the only fully lossless text format."""
+
+    def format_record(self, r: ReadClassification) -> str:
+        return json.dumps(
+            {
+                "read": r.header,
+                "taxon_id": r.taxon_id,
+                "taxon_name": r.taxon_name,
+                "rank": r.rank,
+                "score": r.score,
+                "target": r.target,
+                "window_first": r.window_first,
+                "window_last": r.window_last,
+                "read_length": r.read_length,
+            },
+            separators=(",", ":"),
+        )
+
+
+class KrakenSink(TextSink):
+    """Kraken-style output: ``C/U  read  taxid  length  taxid:score``."""
+
+    def format_record(self, r: ReadClassification) -> str:
+        status = "C" if r.classified else "U"
+        hits = f"{r.taxon_id}:{r.score}" if r.classified else "0:0"
+        return f"{status}\t{r.header}\t{r.taxon_id}\t{r.read_length}\t{hits}"
+
+
+_REGISTRY: dict[str, Callable[..., TextSink]] = {}
+
+
+def register_sink(name: str, factory: Callable[..., TextSink]) -> None:
+    """Register a sink factory under a format name (used by ``--format``)."""
+    _REGISTRY[name.lower()] = factory
+
+
+register_sink("tsv", TsvSink)
+register_sink("jsonl", JsonlSink)
+register_sink("kraken", KrakenSink)
+
+
+def sink_formats() -> list[str]:
+    """Names accepted by :func:`open_sink` (and the CLI's ``--format``)."""
+    return sorted(_REGISTRY)
+
+
+def open_sink(fmt: str, dest: str | os.PathLike | io.TextIOBase) -> TextSink:
+    """Create a sink for a named format writing to ``dest``."""
+    try:
+        factory = _REGISTRY[fmt.lower()]
+    except KeyError:
+        raise UnknownFormatError(
+            f"unknown output format {fmt!r} (choose from {', '.join(sink_formats())})"
+        ) from None
+    return factory(dest)
+
+
+# -- readers (round-trip support) ---------------------------------------
+
+
+def _lines_of(source: str | os.PathLike | io.TextIOBase | Iterable[str]) -> Iterator[str]:
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from fh
+    else:
+        yield from source
+
+
+def read_tsv(source) -> list[ReadClassification]:
+    """Parse TsvSink output back into records (read_length is not stored)."""
+    records = []
+    for i, line in enumerate(_lines_of(source)):
+        line = line.rstrip("\n")
+        if not line or (i == 0 and line.startswith("read\t")):
+            continue
+        header, taxon_id, name, rank, score, target, windows = line.split("\t")
+        if int(taxon_id) == 0:
+            records.append(ReadClassification.unclassified(header))
+            continue
+        first, last = windows.strip("[]").split(",")
+        records.append(
+            ReadClassification(
+                header=header,
+                taxon_id=int(taxon_id),
+                taxon_name=name,
+                rank=rank,
+                score=int(score),
+                target=int(target),
+                window_first=int(first),
+                window_last=int(last),
+            )
+        )
+    return records
+
+
+def read_jsonl(source) -> list[ReadClassification]:
+    """Parse JsonlSink output back into records (lossless)."""
+    records = []
+    for line in _lines_of(source):
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        records.append(
+            ReadClassification(
+                header=obj["read"],
+                taxon_id=obj["taxon_id"],
+                taxon_name=obj["taxon_name"],
+                rank=obj["rank"],
+                score=obj["score"],
+                target=obj["target"],
+                window_first=obj["window_first"],
+                window_last=obj["window_last"],
+                read_length=obj.get("read_length", 0),
+            )
+        )
+    return records
+
+
+def read_kraken(source) -> list[tuple[str, str, int, int, int]]:
+    """Parse KrakenSink output into (status, read, taxid, length, score)."""
+    rows = []
+    for line in _lines_of(source):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        status, header, taxid, length, hits = line.split("\t")
+        score = int(hits.rpartition(":")[2])
+        rows.append((status, header, int(taxid), int(length), score))
+    return rows

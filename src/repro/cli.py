@@ -4,12 +4,15 @@ Subcommands:
 
 - ``build``  -- reference FASTA files + NCBI taxonomy dumps +
   accession->taxid mapping -> saved database (Section 4.1).
-- ``query``  -- saved database + read files (FASTA/FASTQ, optionally
-  paired) -> per-read classification TSV, optional abundance table
-  (Section 4.2).
+- ``query``  -- saved database + read files (FASTA/FASTQ, plain or
+  gzip'd, optionally paired) -> per-read classification in any
+  registered sink format, optional abundance table (Section 4.2).
 - ``info``   -- database summary (targets, windows, sizes).
 - ``merge``  -- combine per-partition candidate runs (Section 4.3).
 
+The CLI is a thin client of :mod:`repro.api`: every command is a few
+calls against the :class:`~repro.api.MetaCache` facade, so anything
+the CLI can do, a program importing ``repro.api`` can do identically.
 Every subcommand is a plain function taking parsed arguments, so the
 test suite drives them in-process via :func:`main`.
 """
@@ -17,69 +20,26 @@ test suite drives them in-process via :func:`main`.
 from __future__ import annotations
 
 import argparse
+import io
 import sys
-from pathlib import Path
 
-import numpy as np
-
-from repro.core.build import build_from_fasta
-from repro.core.classify import classify_reads
-from repro.core.config import ClassificationParams, MetaCacheParams
-from repro.core.io import load_database, save_database
-from repro.core.merge import merge_partition_runs, save_candidates
-from repro.core.query import query_database
-from repro.core.abundance import estimate_abundances
-from repro.genomics.alphabet import encode_sequence
-from repro.genomics.fasta import read_fasta
-from repro.genomics.fastq import read_fastq
-from repro.hashing.sketch import SketchParams
-from repro.taxonomy.ncbi import load_ncbi_dump
+from repro.api import (
+    DEFAULT_BATCH_SIZE,
+    MetaCache,
+    MetaCacheParams,
+    SketchParams,
+    estimate_abundances_from_counts,
+    merge_partition_runs,
+    open_sink,
+    save_candidates,
+    sink_formats,
+)
 from repro.taxonomy.ranks import Rank
 
 __all__ = ["main"]
 
 
-def _load_mapping(path: Path) -> dict[str, int]:
-    """Parse an accession2taxid-style TSV (accession <tab> taxid)."""
-    mapping: dict[str, int] = {}
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split("\t")
-            if len(parts) < 2:
-                raise ValueError(f"{path}:{lineno}: expected 'accession\\ttaxid'")
-            mapping[parts[0]] = int(parts[1])
-    return mapping
-
-
-def _read_sequences(path: Path) -> tuple[list[str], list[np.ndarray]]:
-    """Load a FASTA or FASTQ file (sniffed from the first character)."""
-    with open(path, "r", encoding="ascii") as fh:
-        first = fh.read(1)
-    headers: list[str] = []
-    seqs: list[np.ndarray] = []
-    if first == ">":
-        for rec in read_fasta(path):
-            headers.append(rec.header)
-            seqs.append(encode_sequence(rec.sequence))
-    elif first == "@":
-        for rec in read_fastq(path):
-            headers.append(rec.header)
-            seqs.append(encode_sequence(rec.sequence))
-    elif first == "":
-        pass  # empty file: zero reads
-    else:
-        raise ValueError(f"{path}: neither FASTA nor FASTQ (starts with {first!r})")
-    return headers, seqs
-
-
 def _cmd_build(args: argparse.Namespace) -> int:
-    taxonomy = load_ncbi_dump(
-        Path(args.taxonomy) / "nodes.dmp", Path(args.taxonomy) / "names.dmp"
-    )
-    mapping = _load_mapping(Path(args.mapping))
     params = MetaCacheParams(
         sketch=SketchParams(
             k=args.kmer_length, sketch_size=args.sketch_size,
@@ -87,80 +47,73 @@ def _cmd_build(args: argparse.Namespace) -> int:
         ),
         max_locations_per_feature=args.max_locations,
     )
-    db = build_from_fasta(
-        args.refs, taxonomy, mapping, params=params, n_partitions=args.partitions
+    mc = MetaCache.build(
+        args.refs,
+        taxonomy=args.taxonomy,
+        mapping=args.mapping,
+        params=params,
+        n_partitions=args.partitions,
     )
-    files = save_database(db, args.out)
+    files = mc.save(args.out)
     print(
-        f"built {db.n_targets} targets ({db.total_windows:,} windows) into "
-        f"{db.n_partitions} partition(s); wrote {len(files)} files to {args.out}"
+        f"built {mc.n_targets} targets ({mc.total_windows:,} windows) into "
+        f"{mc.n_partitions} partition(s); wrote {len(files)} files to {args.out}"
     )
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    db = load_database(args.db)
-    headers, seqs = _read_sequences(Path(args.reads))
-    mates = None
-    if args.mates:
-        _, mates = _read_sequences(Path(args.mates))
-        if len(mates) != len(seqs):
-            raise ValueError(
-                f"mate file has {len(mates)} reads, expected {len(seqs)}"
-            )
-    classification_params = ClassificationParams(
-        max_candidates=db.params.classification.max_candidates,
-        min_hits=args.min_hits,
-        lca_trigger_fraction=db.params.classification.lca_trigger_fraction,
-    )
-    result = query_database(db, seqs, mates=mates)
-    cls = classify_reads(db, result.candidates, classification_params)
+    mc = MetaCache.open(args.db)
+    # Route every override through one replace() call: flags left at
+    # None keep the database's own stored defaults instead of being
+    # silently reset to CLI constants.
+    overrides = {
+        name: value
+        for name, value in (
+            ("min_hits", args.min_hits),
+            ("max_candidates", args.max_cands),
+            ("lca_trigger_fraction", args.lca_fraction),
+        )
+        if value is not None
+    }
+    session = mc.session(mc.params.classification.replace(**overrides))
 
-    out = open(args.out, "w") if args.out else sys.stdout
-    try:
-        out.write("read\ttaxon_id\ttaxon_name\trank\tscore\ttarget\twindow_range\n")
-        for i, header in enumerate(headers):
-            taxon = int(cls.taxon[i])
-            if taxon == 0:
-                out.write(f"{header}\t0\tunclassified\t-\t0\t-\t-\n")
-                continue
-            rank = db.lineages.rank_resolved(taxon).name.lower()
-            out.write(
-                f"{header}\t{taxon}\t{db.taxonomy.name_of(taxon)}\t{rank}\t"
-                f"{int(cls.top_score[i])}\t{int(cls.best_target[i])}\t"
-                f"[{int(cls.best_window_first[i])},"
-                f"{int(cls.best_window_last[i])}]\n"
-            )
-    finally:
-        if args.out:
-            out.close()
+    sink = open_sink(args.format, args.out if args.out else sys.stdout)
+    with sink:
+        report = session.classify_files(
+            args.reads,
+            args.mates,
+            sink=sink,
+            batch_size=args.batch_size,
+        )
     print(
-        f"classified {cls.n_classified}/{len(seqs)} reads",
+        f"classified {report.n_classified}/{report.n_reads} reads",
         file=sys.stderr,
     )
     if args.abundance:
         rank = Rank.from_name(args.abundance)
-        abundances = estimate_abundances(db.taxonomy, cls, rank)
+        abundances = estimate_abundances_from_counts(
+            mc.taxonomy, report.taxon_counts, rank
+        )
         print(f"abundance estimate at rank {rank.name.lower()}:", file=sys.stderr)
         for taxon, frac in sorted(abundances.items(), key=lambda kv: -kv[1]):
             print(
-                f"  {db.taxonomy.name_of(taxon)}\t{frac:.2%}", file=sys.stderr
+                f"  {mc.taxonomy.name_of(taxon)}\t{frac:.2%}", file=sys.stderr
             )
     return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    db = load_database(args.db)
-    p = db.params
+    info = MetaCache.open(args.db).info()
     print(f"database: {args.db}")
     print(
-        f"  parameters: k={p.sketch.k} s={p.sketch.sketch_size} "
-        f"w={p.sketch.window_size} (stride {p.window_stride}), "
-        f"max locations {p.max_locations_per_feature}"
+        f"  parameters: k={info.k} s={info.sketch_size} "
+        f"w={info.window_size} (stride {info.window_stride}), "
+        f"max locations {info.max_locations_per_feature}"
     )
-    print(f"  taxonomy: {len(db.taxonomy)} nodes")
-    print(f"  targets: {db.n_targets} ({db.total_windows:,} windows)")
-    print(f"  partitions: {db.n_partitions}, index bytes {db.nbytes:,}")
+    print(f"  taxonomy: {info.n_taxa} nodes")
+    print(f"  targets: {info.n_targets} ({info.total_windows:,} windows)")
+    print(f"  partitions: {info.n_partitions}, index bytes {info.index_bytes:,}")
     return 0
 
 
@@ -198,10 +151,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = sub.add_parser("query", help="classify reads against a database")
     q.add_argument("--db", required=True, help="database directory")
-    q.add_argument("--reads", required=True, help="FASTA/FASTQ read file")
+    q.add_argument("--reads", required=True,
+                   help="FASTA/FASTQ read file (plain or gzip'd)")
     q.add_argument("--mates", help="optional mate file for paired-end reads")
-    q.add_argument("--out", help="output TSV (default stdout)")
-    q.add_argument("--min-hits", type=int, default=5)
+    q.add_argument("--out", help="output file (default stdout)")
+    q.add_argument("--format", default="tsv", choices=sink_formats(),
+                   help="output format (default tsv)")
+    q.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+                   help="reads per streamed batch (bounds peak memory)")
+    q.add_argument("--min-hits", type=int, default=None,
+                   help="min sketch hits to classify (default: database setting)")
+    q.add_argument("--max-cands", type=int, default=None,
+                   help="top-hit list length m (default: database setting)")
+    q.add_argument("--lca-fraction", type=float, default=None,
+                   help="LCA trigger fraction (default: database setting)")
     q.add_argument("--abundance", help="also print abundances at this rank")
     q.set_defaults(func=_cmd_query)
 
@@ -220,7 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer went away mid-stream (e.g. `... | head`);
+        # die quietly with the conventional SIGPIPE exit status.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass
+        return 141
 
 
 if __name__ == "__main__":

@@ -20,7 +20,11 @@ from repro.taxonomy.lineage import RankedLineages
 from repro.taxonomy.ranks import Rank
 from repro.taxonomy.tree import Taxonomy
 
-__all__ = ["estimate_abundances", "abundance_deviation"]
+__all__ = [
+    "estimate_abundances",
+    "estimate_abundances_from_counts",
+    "abundance_deviation",
+]
 
 
 def estimate_abundances(
@@ -35,21 +39,47 @@ def estimate_abundances(
     MetaCache's estimator.  Returns taxon id -> fraction (sums to 1
     unless nothing resolved).
     """
-    lineages = RankedLineages(taxonomy)
     predicted = classification.taxon
     classified = predicted != UNCLASSIFIED
     if not classified.any():
         return {}
-    dense = np.array(
-        [taxonomy.index_of(int(t)) for t in predicted[classified]], dtype=np.int64
+    taxa, counts = np.unique(predicted[classified], return_counts=True)
+    return estimate_abundances_from_counts(
+        taxonomy, dict(zip(taxa.tolist(), counts.tolist())), rank
     )
-    at_rank = lineages.ancestors_at_rank(dense, rank)
-    at_rank = at_rank[at_rank != RankedLineages.NO_TAXON]
-    if at_rank.size == 0:
+
+
+def estimate_abundances_from_counts(
+    taxonomy: Taxonomy,
+    taxon_counts: dict[int, int],
+    rank: Rank = Rank.SPECIES,
+) -> dict[int, float]:
+    """Abundances from per-taxon read counts instead of a full array.
+
+    Streaming callers (``QuerySession.classify_files`` & friends)
+    accumulate only a taxon -> count mapping per batch; this turns
+    those counts into the same estimate :func:`estimate_abundances`
+    would produce from the concatenated classification.
+    """
+    items = [
+        (int(t), int(c)) for t, c in taxon_counts.items()
+        if int(t) != UNCLASSIFIED and int(c) > 0
+    ]
+    if not items:
         return {}
-    taxa, counts = np.unique(at_rank, return_counts=True)
-    total = counts.sum()
-    return {int(t): float(c) / float(total) for t, c in zip(taxa, counts)}
+    lineages = RankedLineages(taxonomy)
+    dense = np.array([taxonomy.index_of(t) for t, _ in items], dtype=np.int64)
+    weights = np.array([c for _, c in items], dtype=np.int64)
+    at_rank = lineages.ancestors_at_rank(dense, rank)
+    resolved = at_rank != RankedLineages.NO_TAXON
+    if not resolved.any():
+        return {}
+    at_rank, weights = at_rank[resolved], weights[resolved]
+    totals: dict[int, int] = {}
+    for t, w in zip(at_rank.tolist(), weights.tolist()):
+        totals[t] = totals.get(t, 0) + w
+    grand = sum(totals.values())
+    return {t: c / grand for t, c in totals.items()}
 
 
 def abundance_deviation(

@@ -10,6 +10,7 @@ default)"; Section 4.2: "usually 2 <= m <= 4 top hits are enough".
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.hashing.sketch import SketchParams
@@ -42,6 +43,15 @@ class ClassificationParams:
         if not 0.0 < self.lca_trigger_fraction <= 1.0:
             raise ValueError("lca_trigger_fraction must be in (0, 1]")
 
+    def replace(self, **overrides) -> "ClassificationParams":
+        """Copy with the given fields overridden, all others kept.
+
+        The canonical way to derive per-query parameters from a
+        database's stored defaults: only the overridden knobs change,
+        and ``__post_init__`` re-validates the result.
+        """
+        return dataclasses.replace(self, **overrides)
+
 
 @dataclass(frozen=True)
 class MetaCacheParams:
@@ -57,6 +67,10 @@ class MetaCacheParams:
     def __post_init__(self) -> None:
         if self.max_locations_per_feature < 1:
             raise ValueError("max_locations_per_feature must be >= 1")
+
+    def replace(self, **overrides) -> "MetaCacheParams":
+        """Copy with the given fields overridden, all others kept."""
+        return dataclasses.replace(self, **overrides)
 
     @property
     def window_stride(self) -> int:

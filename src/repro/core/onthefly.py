@@ -10,6 +10,10 @@ entire write+load cycle (Fig. 4 / Table 5).
 
 ``build_and_query`` also measures the phase times so the benches can
 produce the Fig. 4 bars and the Table 5 TTQ comparison from one call.
+
+External callers should use :meth:`repro.api.MetaCache.ephemeral`,
+which wraps this mode behind the stable facade; this module remains
+the internal engine and the bench harness's phase-timing entry point.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.classify import Classification, classify_reads
-from repro.core.config import ClassificationParams, MetaCacheParams
+from repro.core.config import ClassificationParams
 from repro.core.database import Database
 from repro.core.mapping import ReadMapping, map_reads
 from repro.core.query import QueryResult, query_database
@@ -65,14 +65,7 @@ class QuerySession:
         """
         params = self.database.params
         if classification is not None:
-            params = MetaCacheParams(
-                sketch=params.sketch,
-                max_locations_per_feature=params.max_locations_per_feature,
-                bucket_size=params.bucket_size,
-                group_size=params.group_size,
-                max_load_factor=params.max_load_factor,
-                classification=classification,
-            )
+            params = params.replace(classification=classification)
         result = query_database(self.database, sequences, mates=mates, params=params)
         cls = classify_reads(self.database, result.candidates, params.classification)
         self.stats.n_queries += 1

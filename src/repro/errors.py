@@ -1,0 +1,43 @@
+"""The exception hierarchy of the public API.
+
+Every error the package raises on bad *input* (as opposed to bugs)
+derives from :class:`MetaCacheError`, so callers can catch one base
+class at the top of a serving loop.  The concrete classes also derive
+from :class:`ValueError` because that is what the pre-API code raised
+-- existing ``except ValueError`` call sites keep working.
+
+Defined here (not inside :mod:`repro.api`) so that low-level modules
+like :mod:`repro.core.io` and :mod:`repro.genomics.io` can raise them
+without importing the facade they sit underneath; :mod:`repro.api`
+re-exports the whole hierarchy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MetaCacheError",
+    "DatabaseFormatError",
+    "InvalidReadError",
+    "InvalidMappingError",
+    "UnknownFormatError",
+]
+
+
+class MetaCacheError(Exception):
+    """Base class for every error raised by the public API."""
+
+
+class DatabaseFormatError(MetaCacheError, ValueError):
+    """A saved database is missing, truncated, or has the wrong format."""
+
+
+class InvalidReadError(MetaCacheError, ValueError):
+    """Read input could not be understood (file format or in-memory type)."""
+
+
+class InvalidMappingError(MetaCacheError, ValueError):
+    """An accession->taxid mapping file is malformed."""
+
+
+class UnknownFormatError(MetaCacheError, ValueError):
+    """An output format name does not match any registered sink."""

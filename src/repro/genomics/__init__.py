@@ -10,6 +10,8 @@ This package provides everything the classifier consumes:
   MetaCache (length ``w``, overlap ``k-1``).
 - :mod:`repro.genomics.fasta` / :mod:`repro.genomics.fastq` -- plain
   text sequence IO compatible with the common formats.
+- :mod:`repro.genomics.io` -- format-sniffing reader over both
+  (plain or gzip'd), used by the CLI and :mod:`repro.api`.
 - :mod:`repro.genomics.simulate` -- synthetic reference genomes with a
   phylogeny-shaped mutation structure (the RefSeq / AFS stand-ins).
 - :mod:`repro.genomics.reads` -- Illumina-like read simulation
@@ -38,6 +40,11 @@ from repro.genomics.kmers import (
 from repro.genomics.windows import WindowLayout, num_windows, window_slices
 from repro.genomics.fasta import read_fasta, write_fasta, FastaRecord
 from repro.genomics.fastq import read_fastq, write_fastq, FastqRecord
+from repro.genomics.io import (
+    iter_sequence_records,
+    open_sequence_file,
+    read_sequences,
+)
 from repro.genomics.simulate import GenomeSimulator, SimulatedGenome
 from repro.genomics.reads import ReadSimulator, ReadProfile, SimulatedReads
 from repro.genomics.community import MockCommunity, CommunityMember
@@ -65,6 +72,9 @@ __all__ = [
     "read_fastq",
     "write_fastq",
     "FastqRecord",
+    "iter_sequence_records",
+    "open_sequence_file",
+    "read_sequences",
     "GenomeSimulator",
     "SimulatedGenome",
     "ReadSimulator",
