@@ -36,7 +36,10 @@ from repro.api.errors import (
     InvalidMappingError,
     InvalidReadError,
     MetaCacheError,
+    PipelineError,
+    SharedMemoryUnavailableError,
     UnknownFormatError,
+    WorkerCrashError,
 )
 from repro.api.facade import MetaCache, load_accession_mapping
 from repro.api.records import (
@@ -66,6 +69,16 @@ from repro.core.classify import Classification
 from repro.core.config import ClassificationParams, MetaCacheParams
 from repro.core.query import QueryResult
 from repro.hashing.sketch import SketchParams
+
+# the multi-process query engine (workers=N drives this internally;
+# re-exported for callers orchestrating their own chunk streams)
+from repro.parallel import (
+    ChunkResult,
+    ParallelClassifier,
+    ReadChunk,
+    SharedDatabaseHandle,
+    shared_memory_available,
+)
 
 # curated analysis helpers riding on the classification results
 from repro.core.abundance import (
@@ -111,6 +124,15 @@ __all__ = [
     "InvalidReadError",
     "InvalidMappingError",
     "UnknownFormatError",
+    "PipelineError",
+    "WorkerCrashError",
+    "SharedMemoryUnavailableError",
+    # multi-process engine
+    "ParallelClassifier",
+    "ReadChunk",
+    "ChunkResult",
+    "SharedDatabaseHandle",
+    "shared_memory_available",
     # parameters
     "MetaCacheParams",
     "ClassificationParams",

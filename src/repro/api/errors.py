@@ -10,7 +10,10 @@ from repro.errors import (
     InvalidMappingError,
     InvalidReadError,
     MetaCacheError,
+    PipelineError,
+    SharedMemoryUnavailableError,
     UnknownFormatError,
+    WorkerCrashError,
 )
 
 __all__ = [
@@ -19,4 +22,7 @@ __all__ = [
     "InvalidReadError",
     "InvalidMappingError",
     "UnknownFormatError",
+    "PipelineError",
+    "WorkerCrashError",
+    "SharedMemoryUnavailableError",
 ]

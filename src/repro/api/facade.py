@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import weakref
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -77,16 +78,37 @@ class MetaCache:
     manager -- ``close()`` releases any simulated device allocations.
     """
 
-    def __init__(self, database: Database, *, build_seconds: float = 0.0) -> None:
+    def __init__(
+        self,
+        database: Database,
+        *,
+        build_seconds: float = 0.0,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.database = database
+        self.workers = workers
         self._build_seconds = build_seconds
         self._default_session: QuerySession | None = None
+        # weak refs: tracking sessions for close() must not keep every
+        # short-lived per-request session (and its reports) alive
+        self._sessions: weakref.WeakSet[QuerySession] = weakref.WeakSet()
 
     # ------------------------------------------------------------ constructors
 
     @classmethod
-    def open(cls, path: str | os.PathLike, *, devices=None) -> "MetaCache":
+    def open(
+        cls, path: str | os.PathLike, *, devices=None, workers: int = 1
+    ) -> "MetaCache":
         """Load a saved database directory (condensed query layout).
+
+        ``workers`` sets the default fan-out of every session this
+        handle creates: ``workers=N`` makes
+        ``QuerySession.classify_files`` classify through N worker
+        processes sharing the loaded index zero-copy (see
+        :mod:`repro.parallel`); results are byte-identical to
+        ``workers=1``.
 
         Raises :class:`repro.errors.DatabaseFormatError` when the
         directory is missing, truncated, or has the wrong version.
@@ -104,7 +126,7 @@ class MetaCache:
             raise DatabaseFormatError(f"no database at {path} ({exc})") from exc
         except json.JSONDecodeError as exc:
             raise DatabaseFormatError(f"{path}: corrupt metadata ({exc})") from exc
-        return cls(db, build_seconds=t.elapsed)
+        return cls(db, build_seconds=t.elapsed, workers=workers)
 
     @classmethod
     def build(
@@ -117,11 +139,13 @@ class MetaCache:
         n_partitions: int = 1,
         devices=None,
         batch_size: int = 32,
+        workers: int = 1,
     ) -> "MetaCache":
         """Build from reference FASTA files through the threaded pipeline.
 
         ``taxonomy`` may be a :class:`Taxonomy` or a directory holding
         ``nodes.dmp``/``names.dmp``; ``mapping`` a dict or a TSV path.
+        ``workers`` is the default query fan-out (see :meth:`open`).
         """
         tax = _resolve_taxonomy(taxonomy)
         if not isinstance(mapping, Mapping):
@@ -136,7 +160,7 @@ class MetaCache:
                 devices=devices,
                 batch_size=batch_size,
             )
-        return cls(db, build_seconds=t.elapsed)
+        return cls(db, build_seconds=t.elapsed, workers=workers)
 
     @classmethod
     def ephemeral(
@@ -147,6 +171,7 @@ class MetaCache:
         *,
         n_partitions: int = 1,
         devices=None,
+        workers: int = 1,
     ) -> "MetaCache":
         """On-the-fly mode: in-memory build, queryable immediately.
 
@@ -155,6 +180,9 @@ class MetaCache:
         The hash table stays in the build layout (~20% slower queries
         than the condensed layout, Fig. 4) but there is no write+load
         cycle at all -- ``time_to_query`` is just the build.
+        ``workers`` is the default query fan-out (see :meth:`open`);
+        note the shared-memory export condenses the database on first
+        parallel use.
         """
         tax = _resolve_taxonomy(taxonomy)
         refs = [
@@ -169,7 +197,7 @@ class MetaCache:
                 n_partitions=n_partitions,
                 devices=devices,
             )
-        return cls(db, build_seconds=t.elapsed)
+        return cls(db, build_seconds=t.elapsed, workers=workers)
 
     # ---------------------------------------------------------------- queries
 
@@ -178,9 +206,23 @@ class MetaCache:
         params: ClassificationParams | None = None,
         *,
         node=None,
+        workers: int | None = None,
     ) -> QuerySession:
-        """Open a warm query session (cheap; make as many as you like)."""
-        return QuerySession(self.database, params=params, node=node)
+        """Open a warm query session (cheap; make as many as you like).
+
+        ``workers`` overrides this handle's default fan-out for the
+        new session only.  Sessions with ``workers > 1`` own a worker
+        pool once they first fan out; :meth:`close` on this handle
+        shuts down every pool its sessions started.
+        """
+        session = QuerySession(
+            self.database,
+            params=params,
+            node=node,
+            workers=self.workers if workers is None else workers,
+        )
+        self._sessions.add(session)
+        return session
 
     def classify(self, reads, mates=None, **kwargs) -> ClassificationRun:
         """One-shot convenience: classify through a shared default session."""
@@ -198,22 +240,27 @@ class MetaCache:
 
     @property
     def params(self) -> MetaCacheParams:
+        """The database's full parameter set (sketching is baked in)."""
         return self.database.params
 
     @property
     def taxonomy(self) -> Taxonomy:
+        """The taxonomy the database classifies against."""
         return self.database.taxonomy
 
     @property
     def n_targets(self) -> int:
+        """Number of reference targets (sequences/scaffolds) indexed."""
         return self.database.n_targets
 
     @property
     def n_partitions(self) -> int:
+        """Number of database partitions (one per simulated device)."""
         return self.database.n_partitions
 
     @property
     def total_windows(self) -> int:
+        """Total reference windows across all targets."""
         return self.database.total_windows
 
     @property
@@ -222,6 +269,7 @@ class MetaCache:
         return self._build_seconds
 
     def info(self) -> DatabaseInfo:
+        """Summarize the database (the CLI's ``info`` output, typed)."""
         db, p = self.database, self.database.params
         return DatabaseInfo(
             n_targets=db.n_targets,
@@ -239,7 +287,15 @@ class MetaCache:
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Release simulated device allocations (safe to call twice)."""
+        """Release worker pools and simulated device allocations.
+
+        Safe to call twice; sessions created by :meth:`session` have
+        their multi-process engines shut down here, so ``with
+        MetaCache.open(path, workers=4) as mc: ...`` never leaks
+        processes or shared-memory blocks.
+        """
+        for session in list(self._sessions):
+            session.close()
         self.database.release_devices()
 
     def __enter__(self) -> "MetaCache":

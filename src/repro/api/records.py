@@ -51,10 +51,12 @@ class ReadClassification:
 
     @property
     def classified(self) -> bool:
+        """True when the read was assigned a taxon."""
         return self.taxon_id != 0
 
     @classmethod
     def unclassified(cls, header: str, read_length: int = 0) -> "ReadClassification":
+        """The canonical record for a read no rule could place."""
         return cls(
             header=header,
             taxon_id=0,
@@ -91,14 +93,17 @@ class RunReport:
 
     @property
     def n_unclassified(self) -> int:
+        """Reads that could not be assigned a taxon."""
         return self.n_reads - self.n_classified
 
     @property
     def classification_rate(self) -> float:
+        """Fraction of reads classified (NaN when the run was empty)."""
         return self.n_classified / self.n_reads if self.n_reads else float("nan")
 
     @property
     def reads_per_second(self) -> float:
+        """Throughput over the pipeline's accumulated stage time."""
         if self.total_seconds <= 0:
             return float("nan")
         return self.n_reads / self.total_seconds
@@ -117,6 +122,7 @@ class RunReport:
         return self
 
     def summary(self) -> str:
+        """One-line human summary (reads, rate, throughput)."""
         return (
             f"{self.n_reads} reads in {self.n_batches} batch(es), "
             f"{self.n_classified} classified ({self.classification_rate:.1%}), "
@@ -148,6 +154,7 @@ class ClassificationRun:
 
     @property
     def n_classified(self) -> int:
+        """Reads assigned a taxon in this run."""
         return self.report.n_classified
 
 

@@ -13,17 +13,22 @@ and exposes three classification shapes:
   of reads stream through bounded memory;
 - :meth:`classify_files` -- FASTA/FASTQ file(s) pushed through the
   :mod:`repro.pipeline` producer/consumer machinery into a
-  :class:`~repro.api.sinks.Sink`.
+  :class:`~repro.api.sinks.Sink`; with ``workers > 1`` the producer
+  feeds the multi-process shared-memory engine
+  (:mod:`repro.parallel`) instead of a single in-thread consumer.
 
-Per-read results are identical across the three shapes (candidate
-generation and the top-hit/LCA rule are per-read), which the test
-suite asserts down to byte-identical TSV output.
+Per-read results are identical across the three shapes and across
+worker counts (candidate generation and the top-hit/LCA rule are
+per-read, and the parallel engine reassembles chunks in submission
+order), which the test suite asserts down to byte-identical TSV
+output.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import warnings
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -40,10 +45,18 @@ from repro.core.config import ClassificationParams
 from repro.core.database import Database
 from repro.core.mapping import ReadMapping, map_reads
 from repro.core.query import query_database
-from repro.errors import InvalidReadError
+from repro.errors import (
+    InvalidReadError,
+    MetaCacheError,
+    PipelineError,
+    SharedMemoryUnavailableError,
+)
 from repro.genomics.alphabet import encode_sequence
 from repro.genomics.io import iter_sequence_records
+from repro.parallel.chunks import ChunkResult
+from repro.parallel.engine import ParallelClassifier, shared_memory_available
 from repro.pipeline.batch import SequenceBatch
+from repro.pipeline.producer import read_file_producer
 from repro.pipeline.queues import ClosableQueue
 from repro.pipeline.scheduler import run_producer_consumer
 
@@ -123,6 +136,14 @@ class QuerySession:
     with different parameters.  ``session.report`` accumulates a
     merged :class:`RunReport` across every call, mirroring the
     interactive-session statistics of the original tool.
+
+    ``workers`` sets the default fan-out of :meth:`classify_files`:
+    with ``workers > 1`` the session lazily starts (and reuses across
+    calls) a :class:`~repro.parallel.ParallelClassifier` over a
+    zero-copy shared-memory export of the database.  Call
+    :meth:`close` (or use the session as a context manager) to shut
+    the worker pool down; sessions that never fan out hold no
+    resources and need no close.
     """
 
     def __init__(
@@ -130,12 +151,17 @@ class QuerySession:
         database: Database,
         params: ClassificationParams | None = None,
         node=None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.database = database
         self.params = params or database.params.classification
         self.node = node
+        self.workers = workers
         self.report = RunReport()
         self.n_queries = 0
+        self._engine: ParallelClassifier | None = None
 
     # ------------------------------------------------------------ one batch
 
@@ -250,16 +276,81 @@ class QuerySession:
         params: ClassificationParams | None = None,
         node=None,
         queue_depth: int = 4,
+        workers: int | None = None,
     ) -> RunReport:
         """Classify FASTA/FASTQ file(s) (plain or gzip'd) into a sink.
 
         Single-end input runs through the paper's producer/consumer
         scheme (:mod:`repro.pipeline`): a producer thread parses and
         encodes the file into bounded :class:`SequenceBatch` chunks
-        while this thread classifies and writes, overlapping I/O with
-        compute exactly like the original's query pipeline.  Paired
-        input zips both files lazily instead (pairing is positional).
+        while the consumer end classifies and writes, overlapping I/O
+        with compute exactly like the original's query pipeline.
+        Paired input zips both files lazily instead (pairing is
+        positional).
+
+        ``workers`` (default: the session's ``workers``) selects the
+        consumer end: ``1`` classifies on this thread; ``N > 1`` feeds
+        the same producer stream to N worker processes sharing the
+        database zero-copy (:mod:`repro.parallel`), with results
+        reassembled in submission order — output is byte-identical to
+        ``workers=1``.  When shared memory is unavailable on the
+        platform, or a simulated multi-GPU ``node`` is in play, the
+        call warns and degrades to single-process classification.
+
+        Raises
+        ------
+        PipelineError
+            when the producer or a worker fails for a reason that is
+            not already a typed :class:`MetaCacheError`; the message
+            names ``reads_path`` and chains the original exception.
+            Worker crashes raise the :class:`WorkerCrashError`
+            subclass, likewise naming the file.
         """
+        try:
+            n_workers = self._effective_workers(workers, node)
+            if n_workers > 1:
+                return self._classify_files_parallel(
+                    reads_path,
+                    mates_path,
+                    sink=sink,
+                    batch_size=batch_size,
+                    params=params,
+                    queue_depth=queue_depth,
+                    workers=n_workers,
+                )
+            return self._classify_files_serial(
+                reads_path,
+                mates_path,
+                sink=sink,
+                batch_size=batch_size,
+                params=params,
+                node=node,
+                queue_depth=queue_depth,
+            )
+        except BrokenPipeError:
+            raise  # the CLI's SIGPIPE contract: die quietly, exit 141
+        except PipelineError as exc:
+            raise type(exc)(f"while classifying {reads_path}: {exc}") from exc
+        except MetaCacheError:
+            raise  # already typed and self-describing
+        except Exception as exc:
+            raise PipelineError(
+                f"while classifying {reads_path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _classify_files_serial(
+        self,
+        reads_path,
+        mates_path,
+        *,
+        sink: Sink | None,
+        batch_size: int,
+        params: ClassificationParams | None,
+        node,
+        queue_depth: int,
+    ) -> RunReport:
+        """The single-process consumer end of :meth:`classify_files`."""
         if mates_path is not None:
             batches = self._paired_batches(reads_path, mates_path, batch_size)
             total = RunReport()
@@ -279,19 +370,7 @@ class QuerySession:
         cancelled = threading.Event()
 
         def produce(q: ClosableQueue):
-            try:
-                batch = SequenceBatch()
-                for i, (header, seq) in enumerate(iter_sequence_records(reads_path)):
-                    if cancelled.is_set():
-                        return
-                    batch.append(header, encode_sequence(seq), i)
-                    if len(batch) >= batch_size:
-                        q.put(batch)
-                        batch = SequenceBatch()
-                if len(batch) and not cancelled.is_set():
-                    q.put(batch)
-            finally:
-                q.close_producer()
+            read_file_producer(reads_path, q, batch_size, cancelled=cancelled)
 
         def consume(q: ClosableQueue) -> RunReport:
             total = RunReport()
@@ -312,6 +391,173 @@ class QuerySession:
             producers=[produce], consumers=[consume], queue_size=queue_depth
         )
         return results[0]
+
+    def _classify_files_parallel(
+        self,
+        reads_path,
+        mates_path,
+        *,
+        sink: Sink | None,
+        batch_size: int,
+        params: ClassificationParams | None,
+        queue_depth: int,
+        workers: int,
+    ) -> RunReport:
+        """The multi-process consumer end: producer feeds the pool.
+
+        The *same* producer as the serial path parses the file into
+        :class:`SequenceBatch` chunks; this thread forwards them to
+        the worker pool and turns each ordered
+        :class:`~repro.parallel.chunks.ChunkResult` back into typed
+        records with the session's own database — so formatting,
+        accounting, and order all share the serial code path, which is
+        what makes the output byte-identical.
+        """
+        engine = self._ensure_engine(workers)
+        if engine is None:  # shared memory unavailable: degrade gracefully
+            return self._classify_files_serial(
+                reads_path,
+                mates_path,
+                sink=sink,
+                batch_size=batch_size,
+                params=params,
+                node=None,
+                queue_depth=queue_depth,
+            )
+        cp = params or self.params
+        cancelled = threading.Event()
+
+        def produce(q: ClosableQueue):
+            if mates_path is not None:
+                try:
+                    for pair in self._paired_batches(
+                        reads_path, mates_path, batch_size
+                    ):
+                        if cancelled.is_set():
+                            return
+                        q.put(pair)
+                finally:
+                    q.close_producer()
+            else:
+                read_file_producer(reads_path, q, batch_size, cancelled=cancelled)
+
+        def consume(q: ClosableQueue) -> RunReport:
+            total = RunReport()
+            try:
+                chunks = (self._queue_item_to_chunk(item) for item in q)
+                for chunk in engine.classify_chunks(chunks, params=cp):
+                    report = self._chunk_to_report(chunk, cp, sink)
+                    total.merge(report)
+                    self._account(report)
+            except BaseException:
+                cancelled.set()
+                for _ in q:  # unblock the producer, eat to end-of-stream
+                    pass
+                raise
+            return total
+
+        results = run_producer_consumer(
+            producers=[produce], consumers=[consume], queue_size=queue_depth
+        )
+        return results[0]
+
+    def _queue_item_to_chunk(self, item):
+        """Map producer output to an engine chunk (encodes paired reads)."""
+        if isinstance(item, SequenceBatch):
+            return item
+        reads, mates = item
+        headers, seqs = _coerce_batch(reads, 0)
+        _, mate_seqs = _coerce_batch(mates, 0)
+        return (headers, seqs, mate_seqs)
+
+    def _chunk_to_report(
+        self, chunk: ChunkResult, cp: ClassificationParams, sink: Sink | None
+    ) -> RunReport:
+        """Emit one chunk's records and build its per-batch report."""
+        records = records_from_classification(
+            self.database, chunk.headers, chunk.classification, chunk.read_lengths
+        )
+        if sink is not None:
+            for rec in records:
+                sink.write(rec)
+        report = RunReport(
+            n_batches=1,
+            max_batch_reads=chunk.n_reads,
+            n_reads=chunk.n_reads,
+            n_classified=chunk.classification.n_classified,
+            total_seconds=chunk.total_seconds,
+            stages=dict(chunk.stage_seconds),
+        )
+        cls = chunk.classification
+        for t in cls.taxon[cls.classified_mask].tolist():
+            report.taxon_counts[int(t)] = report.taxon_counts.get(int(t), 0) + 1
+        return report
+
+    def _effective_workers(self, workers: int | None, node) -> int:
+        """Resolve the worker count for one classify_files call."""
+        n = self.workers if workers is None else workers
+        if n < 1:
+            raise ValueError("workers must be >= 1")
+        if n > 1 and node is not None:
+            warnings.warn(
+                "simulated multi-GPU node given: classifying single-process "
+                "(the worker pool does not model device rings)",
+                stacklevel=3,
+            )
+            return 1
+        return n
+
+    def _ensure_engine(self, workers: int) -> ParallelClassifier | None:
+        """Start (or reuse) the worker pool; ``None`` means degrade.
+
+        The engine persists across calls so repeated
+        :meth:`classify_files` runs amortize process spawn and the
+        one-time shared-memory export.  A crashed/closed engine or a
+        different worker count tears the old pool down first.
+        """
+        if (
+            self._engine is not None
+            and not self._engine.closed
+            and self._engine.workers == workers
+        ):
+            return self._engine
+        self._close_engine()
+        if not shared_memory_available():
+            warnings.warn(
+                "shared memory unavailable on this platform: "
+                "classifying single-process",
+                stacklevel=4,
+            )
+            return None
+        try:
+            self._engine = ParallelClassifier(
+                self.database, workers, params=self.params
+            )
+        except SharedMemoryUnavailableError as exc:
+            warnings.warn(
+                f"shared-memory export failed ({exc}): "
+                "classifying single-process",
+                stacklevel=4,
+            )
+            return None
+        return self._engine
+
+    def _close_engine(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        self._close_engine()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _paired_batches(
         self, reads_path, mates_path, batch_size: int
@@ -359,4 +605,5 @@ class QuerySession:
         self.report.merge(report)
 
     def summary(self) -> str:
+        """One-line session summary across every call so far."""
         return f"{self.n_queries} queries: {self.report.summary()}"

@@ -90,6 +90,7 @@ class CollectSink(_SinkBase):
         self.records: list[ReadClassification] = []
 
     def write(self, record: ReadClassification) -> None:
+        """Append one record to :attr:`records`."""
         self.records.append(record)
 
 
@@ -108,6 +109,7 @@ class TextSink(_SinkBase):
         self.n_written = 0
 
     def start(self) -> None:
+        """Open the destination (if a path) and emit the header line."""
         if self._handle is not None:
             return
         if isinstance(self._dest, (str, os.PathLike)):
@@ -120,12 +122,14 @@ class TextSink(_SinkBase):
             self._handle.write(header + "\n")
 
     def finish(self) -> None:
+        """Close the destination if this sink opened it (idempotent)."""
         if self._handle is not None and self._owns_handle:
             self._handle.close()
         self._handle = None
         self._owns_handle = False
 
     def write(self, record: ReadClassification) -> None:
+        """Format and write one record (auto-starts on first write)."""
         if self._handle is None:
             self.start()
         self._handle.write(self.format_record(record) + "\n")
@@ -133,9 +137,11 @@ class TextSink(_SinkBase):
 
     # -- format hooks ---------------------------------------------------
     def header_line(self) -> str | None:
+        """Optional first line of the output (``None`` = no header)."""
         return None
 
     def format_record(self, record: ReadClassification) -> str:
+        """Render one record as a single output line (subclass hook)."""
         raise NotImplementedError
 
 
@@ -146,9 +152,11 @@ class TsvSink(TextSink):
                "window_range")
 
     def header_line(self) -> str:
+        """The tab-joined column header row."""
         return "\t".join(self.COLUMNS)
 
     def format_record(self, r: ReadClassification) -> str:
+        """One TSV row; unclassified reads get the sentinel columns."""
         if not r.classified:
             return f"{r.header}\t0\tunclassified\t-\t0\t-\t-"
         return (
@@ -161,6 +169,7 @@ class JsonlSink(TextSink):
     """One JSON object per read; the only fully lossless text format."""
 
     def format_record(self, r: ReadClassification) -> str:
+        """One compact JSON object per line, every field preserved."""
         return json.dumps(
             {
                 "read": r.header,
@@ -181,6 +190,7 @@ class KrakenSink(TextSink):
     """Kraken-style output: ``C/U  read  taxid  length  taxid:score``."""
 
     def format_record(self, r: ReadClassification) -> str:
+        """One Kraken-style row (``C/U  read  taxid  length  hits``)."""
         status = "C" if r.classified else "U"
         hits = f"{r.taxon_id}:{r.score}" if r.classified else "0:0"
         return f"{status}\t{r.header}\t{r.taxon_id}\t{r.read_length}\t{hits}"

@@ -6,7 +6,9 @@ Subcommands:
   accession->taxid mapping -> saved database (Section 4.1).
 - ``query``  -- saved database + read files (FASTA/FASTQ, plain or
   gzip'd, optionally paired) -> per-read classification in any
-  registered sink format, optional abundance table (Section 4.2).
+  registered sink format, optional abundance table (Section 4.2);
+  ``--workers N`` fans classification out over N processes sharing
+  the loaded database zero-copy (byte-identical output).
 - ``info``   -- database summary (targets, windows, sizes).
 - ``merge``  -- combine per-partition candidate runs (Section 4.3).
 
@@ -63,7 +65,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    mc = MetaCache.open(args.db)
+    mc = MetaCache.open(args.db, workers=args.workers)
     # Route every override through one replace() call: flags left at
     # None keep the database's own stored defaults instead of being
     # silently reset to CLI constants.
@@ -79,13 +81,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session = mc.session(mc.params.classification.replace(**overrides))
 
     sink = open_sink(args.format, args.out if args.out else sys.stdout)
-    with sink:
-        report = session.classify_files(
-            args.reads,
-            args.mates,
-            sink=sink,
-            batch_size=args.batch_size,
-        )
+    try:
+        with sink:
+            report = session.classify_files(
+                args.reads,
+                args.mates,
+                sink=sink,
+                batch_size=args.batch_size,
+            )
+    finally:
+        mc.close()  # shut down the worker pool, if one was started
     print(
         f"classified {report.n_classified}/{report.n_reads} reads",
         file=sys.stderr,
@@ -159,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output format (default tsv)")
     q.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
                    help="reads per streamed batch (bounds peak memory)")
+    q.add_argument("--workers", type=int, default=1,
+                   help="classification worker processes sharing the database "
+                        "zero-copy via shared memory (default 1 = in-process)")
     q.add_argument("--min-hits", type=int, default=None,
                    help="min sketch hits to classify (default: database setting)")
     q.add_argument("--max-cands", type=int, default=None,

@@ -20,6 +20,9 @@ __all__ = [
     "InvalidReadError",
     "InvalidMappingError",
     "UnknownFormatError",
+    "PipelineError",
+    "WorkerCrashError",
+    "SharedMemoryUnavailableError",
 ]
 
 
@@ -41,3 +44,33 @@ class InvalidMappingError(MetaCacheError, ValueError):
 
 class UnknownFormatError(MetaCacheError, ValueError):
     """An output format name does not match any registered sink."""
+
+
+class PipelineError(MetaCacheError, RuntimeError):
+    """A streaming classification run failed mid-flight.
+
+    Raised by :meth:`repro.api.QuerySession.classify_files` when a
+    producer or worker fails for a reason that is not already a typed
+    :class:`MetaCacheError`; the message always names the read file
+    being classified so multi-file batch jobs can report which input
+    broke.  The original exception is chained as ``__cause__``.
+    """
+
+
+class WorkerCrashError(PipelineError):
+    """A classification worker process died without reporting a result.
+
+    Carries the worker id and exit code in the message.  The parent
+    engine shuts the remaining pool down before raising, so no orphan
+    processes or shared-memory blocks are left behind.
+    """
+
+
+class SharedMemoryUnavailableError(MetaCacheError, RuntimeError):
+    """POSIX shared memory cannot be used on this platform/configuration.
+
+    Raised by :meth:`repro.core.database.SharedDatabaseHandle.export`
+    when creating a block fails (e.g. no ``/dev/shm`` mount or no
+    permission).  Callers that can degrade — the query engine — catch
+    it and fall back to single-process classification instead.
+    """

@@ -1,0 +1,52 @@
+"""``repro.parallel`` -- the multi-process, shared-memory query engine.
+
+The paper scales classification by keeping one database resident per
+GPU and streaming batches through all devices at once; this package
+is the host-side counterpart.  A loaded
+:class:`~repro.core.database.Database` is exported once into
+``multiprocessing.shared_memory`` blocks
+(:class:`~repro.core.database.SharedDatabaseHandle`, re-exported here)
+and N worker processes map it zero-copy, so the index exists exactly
+once in physical memory no matter the worker count.  Chunks of reads
+fan out over a task queue, are classified by the unmodified
+single-process hot path, and are reassembled in submission order --
+output is byte-identical to a single-process run.
+
+Most callers never touch this package directly: pass ``workers=N`` to
+:meth:`repro.api.MetaCache.open` (or to
+:meth:`~repro.api.QuerySession.classify_files`) and the facade drives
+a :class:`ParallelClassifier` internally, falling back to one process
+where :func:`shared_memory_available` says shared memory cannot be
+used.  Direct use looks like::
+
+    from repro.parallel import ParallelClassifier
+
+    with ParallelClassifier(database, workers=4) as engine:
+        for result in engine.classify_chunks(batches):
+            ...  # ChunkResults, in submission order
+
+Layering note: this package sits *below* ``repro.api`` (it depends
+only on ``repro.core`` and ``repro.pipeline``); the facade converts
+:class:`~repro.parallel.chunks.ChunkResult` arrays into typed records.
+"""
+
+from repro.core.database import (
+    SharedArraySpec,
+    SharedDatabaseHandle,
+    SharedPartitionSpec,
+)
+from repro.parallel.chunks import ChunkResult, OrderedReassembler, ReadChunk
+from repro.parallel.engine import ParallelClassifier, shared_memory_available
+from repro.parallel.worker import worker_main
+
+__all__ = [
+    "ParallelClassifier",
+    "ReadChunk",
+    "ChunkResult",
+    "OrderedReassembler",
+    "SharedDatabaseHandle",
+    "SharedArraySpec",
+    "SharedPartitionSpec",
+    "shared_memory_available",
+    "worker_main",
+]

@@ -1,0 +1,122 @@
+"""Work units of the multi-process query engine.
+
+A :class:`ReadChunk` is what travels parent -> worker: a slice of the
+input read stream with its position (``chunk_id``) in that stream.  A
+:class:`ChunkResult` travels worker -> parent: the vectorized
+classification arrays for one chunk plus per-stage timings.  Results
+arrive in *completion* order; :class:`OrderedReassembler` restores
+submission order so downstream sinks observe exactly the sequence a
+single-process run would produce.
+
+Chunks deliberately carry raw arrays, not per-read record objects:
+records require taxonomy name lookups, which the parent performs with
+its own database so the parallel path shares every byte of the
+serial path's formatting code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.classify import Classification
+
+__all__ = ["ReadChunk", "ChunkResult", "OrderedReassembler"]
+
+
+@dataclass
+class ReadChunk:
+    """One batch of encoded reads scheduled onto a worker.
+
+    ``chunk_id`` is the zero-based position of this chunk in the input
+    stream (the reassembly key); ``headers`` and ``sequences`` are
+    parallel lists; ``mates`` enables paired-end chunks and must match
+    ``sequences`` in length when present.
+    """
+
+    chunk_id: int
+    headers: list[str]
+    sequences: list[np.ndarray]
+    mates: list[np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.headers) != len(self.sequences):
+            raise ValueError(
+                f"chunk {self.chunk_id}: {len(self.headers)} headers for "
+                f"{len(self.sequences)} sequences"
+            )
+        if self.mates is not None and len(self.mates) != len(self.sequences):
+            raise ValueError(
+                f"chunk {self.chunk_id}: {len(self.mates)} mates for "
+                f"{len(self.sequences)} sequences"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+@dataclass
+class ChunkResult:
+    """One chunk's classification, produced by a worker process.
+
+    Contains everything the parent needs to emit typed records and
+    accounting identical to the single-process path: the vectorized
+    :class:`~repro.core.classify.Classification`, per-read total
+    lengths, and the query pipeline's per-stage seconds.
+    ``worker_id``, ``compute_seconds`` (wall inside the worker) and
+    ``compute_cpu_seconds`` (CPU time, immune to core timesharing)
+    feed the scaling benchmark's load-balance model.
+    """
+
+    chunk_id: int
+    headers: list[str]
+    classification: Classification
+    read_lengths: np.ndarray
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    worker_id: int = -1
+    compute_seconds: float = 0.0
+    compute_cpu_seconds: float = 0.0
+
+    @property
+    def n_reads(self) -> int:
+        """Reads (or read pairs) classified in this chunk."""
+        return len(self.headers)
+
+
+class OrderedReassembler:
+    """Restores submission order over out-of-order chunk results.
+
+    ``push`` buffers a result; ``drain`` yields every result whose
+    chunk id continues the contiguous prefix ending at the last
+    drained id.  Memory is bounded by the engine's in-flight cap, as
+    at most that many results can be buffered ahead of a straggler.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: dict[int, ChunkResult] = {}
+        self._next = 0
+
+    def push(self, result: ChunkResult) -> None:
+        """Buffer one completed chunk (rejects duplicate/rewound ids)."""
+        if result.chunk_id < self._next or result.chunk_id in self._buffer:
+            raise ValueError(f"duplicate chunk id {result.chunk_id}")
+        self._buffer[result.chunk_id] = result
+
+    def drain(self) -> Iterator[ChunkResult]:
+        """Yield buffered results that extend the in-order prefix."""
+        while self._next in self._buffer:
+            yield self._buffer.pop(self._next)
+            self._next += 1
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered results waiting on an earlier chunk."""
+        return len(self._buffer)
+
+    @property
+    def next_id(self) -> int:
+        """The chunk id the next drained result must carry."""
+        return self._next

@@ -1,0 +1,375 @@
+"""The multi-process classification engine (worker pool + scheduler).
+
+MetaCache-GPU keeps one resident database per device and streams read
+batches through all of them; :class:`ParallelClassifier` is the host
+analogue.  The database is exported **once** into shared memory
+(:class:`~repro.core.database.SharedDatabaseHandle`) and N spawned
+worker processes map it zero-copy, each running the unmodified
+single-process hot path on the chunks it pulls from a shared task
+queue.  Dynamic pulling load-balances skewed chunks automatically; an
+:class:`~repro.parallel.chunks.OrderedReassembler` restores submission
+order, so results are byte-identical to a ``workers=1`` run.
+
+Failure model:
+
+- a chunk that raises inside a worker is reported with its traceback
+  and surfaces here as :class:`~repro.errors.PipelineError`;
+- a worker that dies (OOM kill, segfault, ...) is detected by exit
+  code and surfaces as :class:`~repro.errors.WorkerCrashError`;
+- both paths shut the whole pool down (sentinels, then terminate)
+  and release the shared blocks before raising, so no orphan
+  processes or leaked ``/dev/shm`` segments outlive the engine.
+
+Use :func:`shared_memory_available` to probe whether this machine can
+run the engine at all; the API session does, and silently degrades to
+single-process classification when it cannot.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import weakref
+from typing import Iterable, Iterator
+
+from repro.core.config import ClassificationParams
+from repro.core.database import Database, SharedDatabaseHandle
+from repro.errors import PipelineError, WorkerCrashError
+from repro.parallel.chunks import ChunkResult, OrderedReassembler, ReadChunk
+from repro.parallel.worker import worker_main
+from repro.pipeline.batch import SequenceBatch
+
+__all__ = ["ParallelClassifier", "shared_memory_available"]
+
+_POLL_SECONDS = 0.1
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX shared memory can be created on this platform.
+
+    Probes by creating (and immediately destroying) a one-byte block;
+    permission errors, a missing ``/dev/shm`` mount, or seccomp
+    filters all report ``False``.  The query engine calls this before
+    fanning out and falls back to single-process classification when
+    it returns ``False``.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=1)
+        block.close()
+        block.unlink()
+        return True
+    except Exception:  # noqa: BLE001 - any failure means "not available"
+        return False
+
+
+def _shutdown_pool(state: dict, procs: list, tasks, results, handle) -> None:
+    """Idempotent pool teardown shared by close() and the GC finalizer.
+
+    Politely sentinels every worker, escalates to terminate/kill on
+    stragglers, then releases queues and the shared-memory blocks.
+    Never raises: teardown must succeed even mid-crash.
+    """
+    if state["closed"]:
+        return
+    state["closed"] = True
+    for _ in procs:
+        try:
+            tasks.put(None)
+        except (OSError, ValueError):  # queue already broken
+            break
+    deadline = time.monotonic() + 5.0
+    for p in procs:
+        p.join(timeout=max(0.0, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - terminate() nearly always lands
+            p.kill()
+            p.join(timeout=1.0)
+    for q in (tasks, results):
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+    handle.close()
+    handle.unlink()
+
+
+class ParallelClassifier:
+    """A pool of worker processes sharing one zero-copy database.
+
+    Parameters
+    ----------
+    database:
+        the database to serve; condensed (and therefore frozen) by
+        the shared-memory export.
+    workers:
+        number of worker processes (>= 1).  The pool uses the
+        ``spawn`` start method so workers genuinely attach the shared
+        blocks rather than inheriting a copy-on-write heap.
+    params:
+        default decision rule for :meth:`classify_chunks` calls that
+        do not pass their own.
+    max_inflight:
+        chunks outstanding before the feeder blocks on results;
+        bounds parent-side memory.  Default ``2 * workers + 2``.
+    start_timeout:
+        seconds to wait for every worker's attach handshake.
+
+    The engine is a context manager; :meth:`close` (idempotent, also
+    invoked by a GC finalizer as a safety net) tears the pool down and
+    frees the shared blocks.  After any failed run the engine closes
+    itself — check :attr:`closed` before reuse.
+
+    Raises
+    ------
+    SharedMemoryUnavailableError
+        when the database cannot be exported to shared memory.
+    WorkerCrashError
+        when a worker dies during startup or mid-run.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        workers: int,
+        *,
+        params: ClassificationParams | None = None,
+        max_inflight: int | None = None,
+        start_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.params = params or database.params.classification
+        self.max_inflight = max_inflight or (2 * workers + 2)
+        self._handle = SharedDatabaseHandle.export(database)
+        self._state = {"closed": False}
+        self._running = False
+        ctx = mp.get_context("spawn")
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(wid, self._handle, self._tasks, self._results),
+                daemon=True,
+                name=f"metacache-worker-{wid}",
+            )
+            for wid in range(workers)
+        ]
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_pool,
+            self._state,
+            self._procs,
+            self._tasks,
+            self._results,
+            self._handle,
+        )
+        try:
+            for p in self._procs:
+                p.start()
+            self._await_ready(start_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- startup
+
+    def _await_ready(self, timeout: float) -> None:
+        """Wait for every worker's attach handshake (or fail fast)."""
+        ready: set[int] = set()
+        deadline = time.monotonic() + timeout
+        while len(ready) < self.workers:
+            self._check_workers()
+            try:
+                msg = self._results.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        f"only {len(ready)}/{self.workers} workers ready "
+                        f"after {timeout:.0f}s"
+                    )
+                continue
+            if msg[0] == "ready":
+                ready.add(msg[1])
+            elif msg[0] == "init_error":
+                _, wid, message, tb = msg
+                raise WorkerCrashError(
+                    f"worker {wid} failed to attach the shared database: "
+                    f"{message}\n{tb}"
+                )
+
+    # ------------------------------------------------------------ main loop
+
+    def classify_chunks(
+        self,
+        chunks: Iterable[ReadChunk | SequenceBatch | tuple],
+        *,
+        params: ClassificationParams | None = None,
+    ) -> Iterator[ChunkResult]:
+        """Stream chunks through the pool, yielding results in order.
+
+        ``chunks`` may contain :class:`ReadChunk` objects,
+        :class:`~repro.pipeline.batch.SequenceBatch` instances, or
+        ``(headers, sequences)`` / ``(headers, sequences, mates)``
+        tuples.  Chunk ids are the arrival positions (0, 1, 2, ...);
+        a :class:`ReadChunk` carrying any other ``chunk_id`` is
+        rejected with ``ValueError``, because ordered reassembly is
+        defined over a contiguous id sequence.  The iterable is
+        pulled lazily — at most
+        :attr:`max_inflight` chunks are resident between the feeder
+        and the reassembly buffer, so arbitrarily long streams run in
+        bounded memory.
+
+        Any failure (worker exception, worker death, broken source
+        iterable) closes the engine before propagating.
+
+        Raises
+        ------
+        PipelineError
+            a chunk raised inside a worker (original traceback in the
+            message).
+        WorkerCrashError
+            a worker process died without reporting a result.
+        """
+        if self._state["closed"]:
+            raise PipelineError("engine is closed")
+        if self._running:
+            raise PipelineError("engine is already streaming a chunk run")
+        self._running = True
+        cparams = params or self.params
+        ok = False
+        try:
+            self._check_workers()  # fail fast on a pool damaged earlier
+            yield from self._run(iter(chunks), cparams)
+            ok = True
+        finally:
+            self._running = False
+            if not ok:
+                # failed or abandoned mid-stream: in-flight chunks can
+                # no longer be matched to a caller -- tear down rather
+                # than hand the next run a poisoned result queue
+                self.close()
+
+    def _run(self, source: Iterator, cparams) -> Iterator[ChunkResult]:
+        assembler = OrderedReassembler()
+        inflight = 0
+        fed = 0
+        exhausted = False
+        while True:
+            while not exhausted and inflight < self.max_inflight:
+                try:
+                    raw = next(source)
+                except StopIteration:
+                    exhausted = True
+                    break
+                self._tasks.put((_coerce_chunk(raw, fed), cparams))
+                fed += 1
+                inflight += 1
+            if exhausted and inflight == 0:
+                # every submitted chunk was returned: complete, in order
+                return
+            result = self._next_result()
+            inflight -= 1
+            assembler.push(result)
+            yield from assembler.drain()
+
+    def _next_result(self) -> ChunkResult:
+        """Block for one worker result, watching for crashes meanwhile."""
+        while True:
+            try:
+                msg = self._results.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_workers()
+                continue
+            kind = msg[0]
+            if kind == "ok":
+                return msg[1]
+            if kind == "error":
+                _, chunk_id, type_name, message, tb = msg
+                raise PipelineError(
+                    f"worker failed on chunk {chunk_id}: "
+                    f"{type_name}: {message}\n--- worker traceback ---\n{tb}"
+                )
+            # late "ready" duplicates are harmless; anything else is a bug
+            if kind not in ("ready",):  # pragma: no cover
+                raise PipelineError(f"unexpected worker message {kind!r}")
+
+    def _check_workers(self) -> None:
+        """Raise WorkerCrashError if any worker died unexpectedly.
+
+        A worker exits with code 0 only after receiving the shutdown
+        sentinel, so any other exit code means the process died with
+        work potentially lost.  Note the converse guarantee does not
+        rely on polling at all: a run only completes when every
+        submitted chunk's result arrived, so a death this check misses
+        (e.g. between the last result and the final drain) can never
+        truncate output.
+        """
+        dead = [
+            (p.name, p.exitcode)
+            for p in self._procs
+            if p.exitcode not in (None, 0)
+        ]
+        if dead:
+            names = ", ".join(f"{n} (exit code {c})" for n, c in dead)
+            raise WorkerCrashError(f"worker process died: {names}")
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool is torn down (engine no longer usable)."""
+        return self._state["closed"]
+
+    def close(self) -> None:
+        """Tear the pool down and free shared memory (idempotent)."""
+        _shutdown_pool(
+            self._state, self._procs, self._tasks, self._results, self._handle
+        )
+
+    def __enter__(self) -> "ParallelClassifier":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"ParallelClassifier({self.workers} workers, {state})"
+
+
+def _coerce_chunk(raw, chunk_id: int) -> ReadChunk:
+    """Normalize the chunk shapes :meth:`classify_chunks` accepts."""
+    if isinstance(raw, ReadChunk):
+        if raw.chunk_id != chunk_id:
+            raise ValueError(
+                f"chunk arrived at position {chunk_id} but carries id "
+                f"{raw.chunk_id}"
+            )
+        return raw
+    if isinstance(raw, SequenceBatch):
+        return ReadChunk(
+            chunk_id=chunk_id,
+            headers=list(raw.headers),
+            sequences=list(raw.sequences),
+        )
+    if isinstance(raw, tuple) and len(raw) in (2, 3):
+        headers, sequences = list(raw[0]), list(raw[1])
+        mates = list(raw[2]) if len(raw) == 3 and raw[2] is not None else None
+        return ReadChunk(
+            chunk_id=chunk_id, headers=headers, sequences=sequences, mates=mates
+        )
+    raise TypeError(
+        f"unsupported chunk type {type(raw).__name__} "
+        "(expected ReadChunk, SequenceBatch or (headers, sequences[, mates]))"
+    )

@@ -10,6 +10,7 @@ either way in the simulation).
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterable, Sequence
 
 from repro.genomics.alphabet import encode_sequence
@@ -18,7 +19,12 @@ from repro.genomics.fastq import read_fastq
 from repro.pipeline.batch import SequenceBatch
 from repro.pipeline.queues import ClosableQueue
 
-__all__ = ["fasta_producer", "fastq_producer", "sequence_producer"]
+__all__ = [
+    "fasta_producer",
+    "fastq_producer",
+    "sequence_producer",
+    "read_file_producer",
+]
 
 
 def _emit_batches(
@@ -26,10 +32,13 @@ def _emit_batches(
     out: ClosableQueue,
     batch_size: int,
     start_id: int,
+    cancelled: threading.Event | None = None,
 ) -> int:
     batch = SequenceBatch()
     seq_id = start_id
     for header, seq in records:
+        if cancelled is not None and cancelled.is_set():
+            return seq_id - start_id
         batch.append(header, encode_sequence(seq), seq_id)
         seq_id += 1
         if len(batch) >= batch_size:
@@ -96,5 +105,36 @@ def sequence_producer(
     """In-memory producer for already-parsed (header, sequence) pairs."""
     try:
         return _emit_batches(records, out, batch_size, 0)
+    finally:
+        out.close_producer()
+
+
+def read_file_producer(
+    path: str | os.PathLike,
+    out: ClosableQueue,
+    batch_size: int,
+    cancelled: threading.Event | None = None,
+) -> int:
+    """Parse one read file (format-sniffed) into the queue; returns reads.
+
+    The producer behind the query side of the pipeline: FASTA or
+    FASTQ, plain or gzip'd, sniffed by
+    :func:`repro.genomics.io.iter_sequence_records`.  Feeds either the
+    single-process consumer or the multi-process worker pool — the
+    consumer end decides; the producer is identical, which is what
+    keeps both paths' inputs (and therefore outputs) byte-identical.
+
+    ``cancelled`` lets the consumer abort the stream early (sink
+    failure, worker crash): the producer checks it per record and
+    closes its queue registration instead of filling the queue
+    forever.  Must be called with the queue already registered for
+    this producer; closes that registration even on error.
+    """
+    from repro.genomics.io import iter_sequence_records
+
+    try:
+        return _emit_batches(
+            iter_sequence_records(path), out, batch_size, 0, cancelled=cancelled
+        )
     finally:
         out.close_producer()

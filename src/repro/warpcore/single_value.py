@@ -46,6 +46,44 @@ class SingleValueHashTable:
         self._size = 0
         self._dropped = 0
 
+    @classmethod
+    def from_arrays(
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        probing: ProbingScheme,
+        size: int,
+        dropped: int = 0,
+    ) -> "SingleValueHashTable":
+        """Wrap existing slot arrays without copying them.
+
+        Used to map a table over externally owned memory — the
+        shared-memory database attach path hands in read-only views of
+        the exporter's slot arrays so worker processes probe the same
+        physical memory (zero-copy).  ``keys``/``values`` must be the
+        full slot arrays of a table built with the given ``probing``
+        scheme; ``size`` is its occupied-slot count.
+
+        Raises ``ValueError`` when the array shapes do not match the
+        probing scheme's slot count.
+        """
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        if keys.shape != (probing.n_slots,) or values.shape != (probing.n_slots,):
+            raise ValueError(
+                f"slot arrays must have shape ({probing.n_slots},), "
+                f"got {keys.shape} / {values.shape}"
+            )
+        if keys.dtype != np.uint32 or values.dtype != _U64:
+            raise ValueError("slot arrays must be uint32 keys / uint64 values")
+        table = cls.__new__(cls)
+        table.probing = probing
+        table._keys = keys
+        table._values = values
+        table._size = int(size)
+        table._dropped = int(dropped)
+        return table
+
     @property
     def n_slots(self) -> int:
         return self.probing.n_slots

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Fail CI when public API surface lacks docstrings.
+
+Walks python files with :mod:`ast` and reports every *public* module,
+class, function, and method without a docstring.  Public means: name
+does not start with ``_`` (dunders other than ``__init__`` are
+skipped; ``__init__`` is exempt too since the class docstring covers
+construction), and the node is not nested inside a function.
+Overloads/trivial protocol stubs (body is ``...`` only) are exempt.
+
+Usage:
+
+    python tools/check_docstrings.py src/repro/api src/repro/parallel
+
+Exit status 1 when any violation is found; the report lists
+``path:line: kind name`` per violation.  The docs job in
+``.github/workflows/ci.yml`` runs this over the documented packages,
+and ``tests/test_docstrings.py`` enforces the same set locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_TARGETS = ("src/repro/api", "src/repro/parallel")
+
+
+def _is_stub(node: ast.AST) -> bool:
+    """True for ``...``-only bodies (protocol stubs need no docstring)."""
+    body = getattr(node, "body", [])
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+def _check_node(node, path: Path, violations: list[str], *, in_class: bool) -> None:
+    """Recurse over class/function definitions, recording violations."""
+    for child in getattr(node, "body", []):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = child.name
+            exempt = (
+                name.startswith("_")
+                or (name.startswith("__") and name.endswith("__"))
+                or _is_stub(child)
+            )
+            if not exempt and ast.get_docstring(child) is None:
+                kind = "method" if in_class else "function"
+                violations.append(f"{path}:{child.lineno}: {kind} {name}")
+            # nested defs are implementation detail: do not recurse
+        elif isinstance(child, ast.ClassDef):
+            if not child.name.startswith("_"):
+                if ast.get_docstring(child) is None and not _is_stub(child):
+                    violations.append(f"{path}:{child.lineno}: class {child.name}")
+                _check_node(child, path, violations, in_class=True)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return the docstring violations in one python file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations: list[str] = []
+    if ast.get_docstring(tree) is None:
+        violations.append(f"{path}:1: module {path.stem}")
+    _check_node(tree, path, violations, in_class=False)
+    return violations
+
+
+def check_paths(paths: list[str | Path]) -> list[str]:
+    """Check every ``.py`` file under the given files/directories."""
+    violations: list[str] = []
+    for target in paths:
+        target = Path(target)
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        if not files:
+            violations.append(f"{target}: no python files found")
+            continue
+        for file in files:
+            violations.extend(check_file(file))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: report violations, exit 1 when any exist."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help=f"files or directories to check (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    args = parser.parse_args(argv)
+    violations = check_paths(args.paths)
+    for line in violations:
+        print(line)
+    if violations:
+        print(
+            f"\n{len(violations)} public definition(s) missing docstrings",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docstrings complete in: {', '.join(map(str, args.paths))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
