@@ -1,0 +1,205 @@
+"""Cold-open latency: format v1 (rebuild) vs format v2 (mmap).
+
+The paper stresses that database load time dominates time-to-answer
+for short query workloads (Section 4.3; on-the-fly mode exists purely
+to dodge it).  Format v1 pays an NPZ decompression plus a full
+feature -> pointer hash-table *rebuild* on every open; format v2
+persists the probed table verbatim and ``mmap=True`` opens it with
+zero rebuild and zero copy.  This bench measures that difference:
+wall seconds from a saved directory to a queryable
+:class:`~repro.core.database.Database`, for
+
+- **v1**       -- the rebuild path (the historical baseline);
+- **v2**       -- eager read of the aligned ``.npy`` files, no rebuild;
+- **v2+mmap**  -- memory-mapped open: touches metadata only, index
+  pages fault in lazily on first query.
+
+Every open is timed in a fresh call (best-of-N to suppress scheduler
+noise; the OS page cache is warm for all three variants, which is the
+regime repeated server starts live in), and all three variants must
+classify a probe read set identically.  Writes ``BENCH_db_open.json``
+(repo root, plus a copy in ``benchmarks/out/``) so later PRs can
+track the trajectory.
+
+Run standalone (writes the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_db_open.py
+
+or through the bench harness:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_db_open.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.tables import format_seconds, render_table
+from repro.bench.workloads import hiseq_mini
+from repro.core.classify import classify_reads
+from repro.core.database import Database
+from repro.core.io import load_database, save_database
+from repro.core.query import query_database
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_DIR = Path(__file__).resolve().parent / "out"
+_JSON_NAME = "BENCH_db_open.json"
+
+#: minimum v1-open / v2-mmap-open ratio the trajectory must hold
+TARGET_SPEEDUP = 3.0
+
+
+def _timed_opens(directory: Path, repeats: int, **kwargs) -> list[float]:
+    """Wall seconds of ``repeats`` independent load_database calls."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        load_database(directory, **kwargs)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def _probe_taxa(db: Database, seqs) -> np.ndarray:
+    result = query_database(db, seqs)
+    return classify_reads(db, result.candidates).taxon
+
+
+def run_bench(n_reads: int = 400, repeats: int = 5) -> dict:
+    """Execute the comparison and return the (JSON-ready) document."""
+    dataset = hiseq_mini()
+    refset = dataset.refset
+    db = Database.build(refset.references, refset.taxonomy, n_partitions=2)
+    seqs = list(dataset.reads.sequences[:n_reads])
+
+    with tempfile.TemporaryDirectory(prefix="bench-db-open-") as tmp:
+        tmp = Path(tmp)
+        v1_dir, v2_dir = tmp / "v1", tmp / "v2"
+        t0 = time.perf_counter()
+        save_database(db, v1_dir)
+        save_v1 = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        save_database(db, v2_dir, format=2)
+        save_v2 = time.perf_counter() - t0
+
+        variants = {
+            "v1": dict(directory=v1_dir),
+            "v2": dict(directory=v2_dir),
+            "v2_mmap": dict(directory=v2_dir, mmap=True),
+        }
+        runs = {}
+        reference = None
+        for name, spec in variants.items():
+            directory = spec.pop("directory")
+            times = _timed_opens(directory, repeats, **spec)
+            opened = load_database(directory, **spec)
+            taxa = _probe_taxa(opened, seqs)
+            if reference is None:
+                reference = taxa
+            runs[name] = {
+                "open_seconds_best": min(times),
+                "open_seconds_all": times,
+                "byte_identical": bool(np.array_equal(taxa, reference)),
+            }
+        disk_bytes = {
+            "v1": sum(f.stat().st_size for f in v1_dir.iterdir()),
+            "v2": sum(f.stat().st_size for f in v2_dir.iterdir()),
+        }
+
+    best_v1 = runs["v1"]["open_seconds_best"]
+    for name, run in runs.items():
+        run["speedup_vs_v1"] = best_v1 / run["open_seconds_best"]
+
+    return {
+        "benchmark": "db_open",
+        "schema_version": 1,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "database": {
+            "targets": db.n_targets,
+            "partitions": db.n_partitions,
+            "index_bytes": db.nbytes,
+            "disk_bytes": disk_bytes,
+            "save_seconds": {"v1": save_v1, "v2": save_v2},
+        },
+        "probe_reads": n_reads,
+        "repeats": repeats,
+        "runs": runs,
+        "speedup_v2_mmap": runs["v2_mmap"]["speedup_vs_v1"],
+        "target_speedup": TARGET_SPEEDUP,
+    }
+
+
+def render_report(doc: dict) -> str:
+    """Human-readable table of the comparison (for benchmarks/out/)."""
+    rows = [
+        [
+            name,
+            format_seconds(run["open_seconds_best"]),
+            f"{run['speedup_vs_v1']:.1f}x",
+            "yes" if run["byte_identical"] else "NO",
+        ]
+        for name, run in doc["runs"].items()
+    ]
+    table = render_table(
+        f"Database cold open ({doc['database']['targets']} targets, "
+        f"{doc['database']['index_bytes']:,} index bytes, "
+        f"best of {doc['repeats']})",
+        ["Format", "Open", "Speedup", "Identical"],
+        rows,
+    )
+    return table + (
+        f"\nv2+mmap opens {doc['speedup_v2_mmap']:.1f}x faster than v1 "
+        f"(target: >= {doc['target_speedup']:.0f}x)\n"
+    )
+
+
+def write_outputs(doc: dict) -> list[Path]:
+    """Write BENCH_db_open.json (repo root + benchmarks/out/) + table."""
+    payload = json.dumps(doc, indent=2) + "\n"
+    _OUT_DIR.mkdir(exist_ok=True)
+    written = []
+    for path in (_REPO_ROOT / _JSON_NAME, _OUT_DIR / _JSON_NAME):
+        path.write_text(payload)
+        written.append(path)
+    table_path = _OUT_DIR / "bench_db_open.txt"
+    table_path.write_text(render_report(doc))
+    written.append(table_path)
+    return written
+
+
+# ------------------------------------------------------------- entry points
+
+
+def test_db_open(benchmark, report):
+    """Bench-harness entry: compare opens, assert the speedup target."""
+    doc = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    write_outputs(doc)
+    report(render_report(doc))
+    assert all(run["byte_identical"] for run in doc["runs"].values())
+    assert doc["speedup_v2_mmap"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--reads", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    doc = run_bench(n_reads=args.reads, repeats=args.repeats)
+    for path in write_outputs(doc):
+        print(f"wrote {path}", file=sys.stderr)
+    print(render_report(doc))
+    return 0 if doc["speedup_v2_mmap"] >= TARGET_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,7 @@ from repro.hashing.sketch import SketchParams
 # re-exported for callers orchestrating their own chunk streams)
 from repro.parallel import (
     ChunkResult,
+    FileBackedDatabaseHandle,
     ParallelClassifier,
     ReadChunk,
     SharedDatabaseHandle,
@@ -132,6 +133,7 @@ __all__ = [
     "ReadChunk",
     "ChunkResult",
     "SharedDatabaseHandle",
+    "FileBackedDatabaseHandle",
     "shared_memory_available",
     # parameters
     "MetaCacheParams",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import weakref
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -28,7 +29,7 @@ from repro.api.session import QuerySession
 from repro.core.build import build_from_fasta
 from repro.core.config import ClassificationParams, MetaCacheParams
 from repro.core.database import Database
-from repro.core.io import load_database, save_database
+from repro.core.io import convert_database, load_database, save_database
 from repro.errors import DatabaseFormatError, InvalidMappingError
 from repro.genomics.alphabet import encode_sequence
 from repro.taxonomy.ncbi import load_ncbi_dump
@@ -68,6 +69,29 @@ def _resolve_taxonomy(taxonomy: Taxonomy | str | os.PathLike) -> Taxonomy:
     return load_ncbi_dump(directory / "nodes.dmp", directory / "names.dmp")
 
 
+@contextmanager
+def _translate_db_errors(path: str | os.PathLike):
+    """Map raw loader errors on ``path`` to ``DatabaseFormatError``.
+
+    The loaders' long-standing contract lets ``FileNotFoundError`` /
+    ``json.JSONDecodeError`` escape raw; the facade boundary turns
+    both into the typed error, shared by :meth:`MetaCache.open` and
+    :meth:`MetaCache.convert` so the translation rules cannot diverge.
+    """
+    try:
+        yield
+    except DatabaseFormatError:
+        raise
+    except FileNotFoundError as exc:
+        if Path(path, "database.meta").is_file():
+            raise DatabaseFormatError(
+                f"truncated database at {path}: {exc}"
+            ) from exc
+        raise DatabaseFormatError(f"no database at {path} ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise DatabaseFormatError(f"{path}: corrupt metadata ({exc})") from exc
+
+
 class MetaCache:
     """A queryable MetaCache database behind one stable handle.
 
@@ -99,7 +123,12 @@ class MetaCache:
 
     @classmethod
     def open(
-        cls, path: str | os.PathLike, *, devices=None, workers: int = 1
+        cls,
+        path: str | os.PathLike,
+        *,
+        devices=None,
+        workers: int = 1,
+        mmap: bool = False,
     ) -> "MetaCache":
         """Load a saved database directory (condensed query layout).
 
@@ -110,23 +139,47 @@ class MetaCache:
         :mod:`repro.parallel`); results are byte-identical to
         ``workers=1``.
 
+        ``mmap=True`` memory-maps a format-v2 database instead of
+        reading it: cold open is near-instant (the saved pointer
+        tables are used verbatim, no rebuild), index pages fault in on
+        first query, and worker processes attach the same files
+        through the page cache instead of a shared-memory export.
+        Classification output is byte-identical either way.  Format-v1
+        directories warn and load through the rebuild path; upgrade
+        them with :meth:`convert` or ``metacache-repro convert``.
+
         Raises :class:`repro.errors.DatabaseFormatError` when the
         directory is missing, truncated, or has the wrong version.
         """
-        try:
+        with _translate_db_errors(path):
             with Timer() as t:
-                db = load_database(path, devices=devices)
-        except DatabaseFormatError:
-            raise
-        except FileNotFoundError as exc:
-            if Path(path, "database.meta").is_file():
-                raise DatabaseFormatError(
-                    f"truncated database at {path}: {exc}"
-                ) from exc
-            raise DatabaseFormatError(f"no database at {path} ({exc})") from exc
-        except json.JSONDecodeError as exc:
-            raise DatabaseFormatError(f"{path}: corrupt metadata ({exc})") from exc
+                db = load_database(path, devices=devices, mmap=mmap)
         return cls(db, build_seconds=t.elapsed, workers=workers)
+
+    @classmethod
+    def convert(
+        cls,
+        source: str | os.PathLike,
+        destination: str | os.PathLike,
+        *,
+        format: int = 2,
+        verify: bool = True,
+    ) -> list[Path]:
+        """Rewrite a saved database in another on-disk format.
+
+        The v1 -> v2 upgrade path (``format=2``, the default) makes an
+        existing database eligible for ``open(..., mmap=True)``'s
+        zero-rebuild cold open; ``format=1`` downgrades a v2 database
+        for older readers.  ``verify`` checks source checksums when it
+        has them.  Returns the files written.
+
+        Raises :class:`repro.errors.DatabaseFormatError` for the same
+        source conditions as :meth:`open`.
+        """
+        with _translate_db_errors(source):
+            return convert_database(
+                source, destination, format=format, verify=verify
+            )
 
     @classmethod
     def build(
@@ -232,9 +285,14 @@ class MetaCache:
 
     # ------------------------------------------------------------ persistence
 
-    def save(self, path: str | os.PathLike) -> list[Path]:
-        """Write the database directory; returns the files created."""
-        return save_database(self.database, path)
+    def save(self, path: str | os.PathLike, *, format: int = 1) -> list[Path]:
+        """Write the database directory; returns the files created.
+
+        ``format=1`` (default) writes the compressed v1 layout;
+        ``format=2`` writes the mmap-ready layout whose cold open
+        needs no hash-table rebuild (see :meth:`open`).
+        """
+        return save_database(self.database, path, format=format)
 
     # -------------------------------------------------------------- metadata
 

@@ -522,7 +522,9 @@ class QuerySession:
         ):
             return self._engine
         self._close_engine()
-        if not shared_memory_available():
+        # mmap-backed databases are shared through the page cache, so
+        # the pool works even where POSIX shared memory does not.
+        if self.database.mmap_path is None and not shared_memory_available():
             warnings.warn(
                 "shared memory unavailable on this platform: "
                 "classifying single-process",

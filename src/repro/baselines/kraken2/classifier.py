@@ -124,10 +124,11 @@ class Kraken2Classifier:
         u_taxon = uniq_key % n_taxa
 
         # hit-group filter (Kraken2's minimum-hit-groups heuristic,
-        # approximated as total hit k-mers per read)
-        groups_per_read = np.bincount(
-            u_read, weights=counts, minlength=n
-        ).astype(np.int64)
+        # approximated as total hit k-mers per read); integer
+        # scatter-add, not bincount(weights=) -- the float64 weighted
+        # path loses exactness past 2^53
+        groups_per_read = np.zeros(n, dtype=np.int64)
+        np.add.at(groups_per_read, u_read, counts)
 
         # path score of each candidate = sum over its ranked lineage of
         # the (read, ancestor) hit counts; lineage gives taxon *ids*,

@@ -9,8 +9,11 @@ Subcommands:
   registered sink format, optional abundance table (Section 4.2);
   ``--workers N`` fans classification out over N processes sharing
   the loaded database zero-copy (byte-identical output).
-- ``info``   -- database summary (targets, windows, sizes).
-- ``merge``  -- combine per-partition candidate runs (Section 4.3).
+- ``info``    -- database summary (targets, windows, sizes).
+- ``merge``   -- combine per-partition candidate runs (Section 4.3).
+- ``convert`` -- rewrite a saved database between on-disk formats;
+  the v1 -> v2 upgrade enables ``query --mmap``'s zero-rebuild,
+  page-cache-shared cold open.
 
 The CLI is a thin client of :mod:`repro.api`: every command is a few
 calls against the :class:`~repro.api.MetaCache` facade, so anything
@@ -56,7 +59,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         params=params,
         n_partitions=args.partitions,
     )
-    files = mc.save(args.out)
+    files = mc.save(args.out, format=args.format)
     print(
         f"built {mc.n_targets} targets ({mc.total_windows:,} windows) into "
         f"{mc.n_partitions} partition(s); wrote {len(files)} files to {args.out}"
@@ -65,7 +68,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    mc = MetaCache.open(args.db, workers=args.workers)
+    mc = MetaCache.open(args.db, workers=args.workers, mmap=args.mmap)
     # Route every override through one replace() call: flags left at
     # None keep the database's own stored defaults instead of being
     # silently reset to CLI constants.
@@ -122,6 +125,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    files = MetaCache.convert(
+        args.db, args.out, format=args.format, verify=not args.no_verify
+    )
+    print(
+        f"converted {args.db} -> {args.out} "
+        f"(format v{args.format}, {len(files)} files)"
+    )
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     merged = merge_partition_runs(args.runs, m=args.top)
     save_candidates(merged, args.out)
@@ -152,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--sketch-size", type=int, default=16)
     b.add_argument("--window-size", type=int, default=127)
     b.add_argument("--max-locations", type=int, default=254)
+    b.add_argument("--format", type=int, default=1, choices=(1, 2),
+                   help="on-disk format: 1 = compressed NPZ (default), "
+                        "2 = mmap-ready aligned .npy + checksum manifest")
     b.set_defaults(func=_cmd_build)
 
     q = sub.add_parser("query", help="classify reads against a database")
@@ -167,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--workers", type=int, default=1,
                    help="classification worker processes sharing the database "
                         "zero-copy via shared memory (default 1 = in-process)")
+    q.add_argument("--mmap", action="store_true",
+                   help="memory-map a format-v2 database instead of loading "
+                        "it: near-instant open, index shared across workers "
+                        "through the page cache")
     q.add_argument("--min-hits", type=int, default=None,
                    help="min sketch hits to classify (default: database setting)")
     q.add_argument("--max-cands", type=int, default=None,
@@ -179,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="print database summary")
     i.add_argument("--db", required=True)
     i.set_defaults(func=_cmd_info)
+
+    c = sub.add_parser(
+        "convert", help="rewrite a saved database in another on-disk format"
+    )
+    c.add_argument("--db", required=True, help="source database directory")
+    c.add_argument("--out", required=True, help="destination directory")
+    c.add_argument("--format", type=int, default=2, choices=(1, 2),
+                   help="target format (default 2: mmap-ready)")
+    c.add_argument("--no-verify", action="store_true",
+                   help="skip source checksum verification")
+    c.set_defaults(func=_cmd_convert)
 
     m = sub.add_parser("merge", help="merge per-partition candidate runs")
     m.add_argument("runs", nargs="+", help="candidate NPZ files")

@@ -74,8 +74,14 @@ class Candidates:
         wl = np.concatenate([self.window_last, other.window_last], axis=1)
         sc = np.concatenate([self.score, other.score], axis=1)
         va = np.concatenate([self.valid, other.valid], axis=1)
-        # order each row by (-valid, -score) and keep first m
-        order = np.lexsort((-sc, ~va), axis=1)
+        # order each row by (-valid, -score, target) and keep first m.
+        # The target tie-break matters: single-partition generation
+        # ranks equal-score candidates by ascending target id (location
+        # lists sort by packed (target, window)), so merging must break
+        # score ties the same way or multi-partition queries would
+        # order -- and at the m-th slot, *select* -- candidates
+        # differently than the equivalent single-partition query.
+        order = np.lexsort((tgt, -sc, ~va), axis=1)
         rows = np.arange(tgt.shape[0])[:, None]
         take = order[:, :m]
         return Candidates(

@@ -48,6 +48,7 @@ __all__ = [
     "SharedArraySpec",
     "SharedPartitionSpec",
     "SharedDatabaseHandle",
+    "FileBackedDatabaseHandle",
 ]
 
 
@@ -171,6 +172,14 @@ class Database:
         self.targets = targets
         self.lineages = RankedLineages(taxonomy)
         self.lca = LcaIndex(taxonomy)
+        #: on-disk format this database was loaded from (None = built
+        #: in memory); set by :func:`repro.core.io.load_database`.
+        self.format_version: int | None = None
+        #: directory of the mmap-backed (format v2) index, when this
+        #: database was opened with ``mmap=True``.  Worker processes
+        #: then share the index through the page cache instead of a
+        #: shared-memory export (see :meth:`sharing_handle`).
+        self.mmap_path = None
 
     # ------------------------------------------------------------------ build
 
@@ -333,6 +342,21 @@ class Database:
 
     def to_shared(self) -> "SharedDatabaseHandle":
         """Export this database into shared memory (see the handle docs)."""
+        return SharedDatabaseHandle.export(self)
+
+    def sharing_handle(self):
+        """The cheapest handle worker processes can attach this database by.
+
+        A database opened from a format-v2 directory with ``mmap=True``
+        is shared through the page cache: the returned
+        :class:`FileBackedDatabaseHandle` pickles as just the directory
+        path and each worker memory-maps the same ``.npy`` files, so no
+        second copy of the index ever exists.  Any other database falls
+        back to the one-time shared-memory export
+        (:meth:`SharedDatabaseHandle.export`).
+        """
+        if self.mmap_path is not None:
+            return FileBackedDatabaseHandle(self.mmap_path)
         return SharedDatabaseHandle.export(self)
 
 
@@ -706,6 +730,72 @@ def _create_block(name: str, array: np.ndarray) -> tuple[SharedArraySpec, object
         view[...] = array
         del view
     return spec, block
+
+
+class FileBackedDatabaseHandle:
+    """Zero-copy handle over a saved format-v2 database directory.
+
+    The file-backed sibling of :class:`SharedDatabaseHandle` for
+    databases opened with ``mmap=True``: its pickled state is **just
+    the directory path** (a few dozen bytes), and :meth:`attach`
+    memory-maps the directory's aligned ``.npy`` index files via
+    :func:`repro.core.io.load_database`.  Every process attaching the
+    same directory shares one physical copy of the index through the
+    operating system's page cache -- no shared-memory export, no
+    resource-tracker lifetime protocol, and nothing to free:
+    :meth:`unlink` is a no-op because the backing files belong to the
+    saved database, not to this handle.
+
+    The lifecycle API mirrors :class:`SharedDatabaseHandle` so the
+    multi-process engine (:mod:`repro.parallel`) can drive either
+    handle interchangeably.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = str(directory)
+        self._database: Database | None = None
+
+    def __getstate__(self) -> dict:
+        """Pickle only the path -- never the mapped database."""
+        return {"directory": self.directory}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._database = None
+
+    def attach(self) -> Database:
+        """Memory-map the database directory (idempotent per handle)."""
+        if self._database is None:
+            from repro.core.io import load_database
+
+            self._database = load_database(self.directory, mmap=True)
+        return self._database
+
+    @property
+    def database(self) -> Database:
+        """The attached database (attaching on first access)."""
+        return self.attach()
+
+    def close(self) -> None:
+        """Drop the attached database reference (idempotent).
+
+        Live array views keep their mappings alive until garbage
+        collected, exactly like the shared-memory handle's close.
+        """
+        self._database = None
+
+    def unlink(self) -> None:
+        """No-op: the backing files belong to the database directory."""
+
+    def __enter__(self) -> "FileBackedDatabaseHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "attached" if self._database is not None else "detached"
+        return f"FileBackedDatabaseHandle({self.directory!r}, {state})"
 
 
 def _open_block(name: str, *, owner: bool) -> object:

@@ -124,9 +124,11 @@ def query_database(
         total_locations += locations.size
         with timer.stage("compact"):
             feat_lengths = np.diff(feat_offsets)
-            window_counts = np.bincount(
-                feat_window, weights=feat_lengths, minlength=n_windows
-            ).astype(np.int64)
+            # integer scatter-add, not bincount(weights=...): weighted
+            # bincount accumulates in float64 and silently loses
+            # exactness past 2^53 total hits
+            window_counts = np.zeros(n_windows, dtype=np.int64)
+            np.add.at(window_counts, feat_window, feat_lengths)
             read_offsets = read_segment_offsets(
                 window_read_ids, window_counts, n_reads
             )

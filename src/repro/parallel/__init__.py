@@ -3,11 +3,15 @@
 The paper scales classification by keeping one database resident per
 GPU and streaming batches through all devices at once; this package
 is the host-side counterpart.  A loaded
-:class:`~repro.core.database.Database` is exported once into
-``multiprocessing.shared_memory`` blocks
-(:class:`~repro.core.database.SharedDatabaseHandle`, re-exported here)
-and N worker processes map it zero-copy, so the index exists exactly
-once in physical memory no matter the worker count.  Chunks of reads
+:class:`~repro.core.database.Database` is shared zero-copy with N
+worker processes -- a database opened with ``mmap=True`` from a
+format-v2 directory is memory-mapped by every worker straight from
+its files (:class:`~repro.core.database.FileBackedDatabaseHandle`,
+re-exported here, shares through the page cache); any other database
+is exported once into ``multiprocessing.shared_memory`` blocks
+(:class:`~repro.core.database.SharedDatabaseHandle`).  Either way the
+index exists exactly once in physical memory no matter the worker
+count.  Chunks of reads
 fan out over a task queue, are classified by the unmodified
 single-process hot path, and are reassembled in submission order --
 output is byte-identical to a single-process run.
@@ -31,6 +35,7 @@ only on ``repro.core`` and ``repro.pipeline``); the facade converts
 """
 
 from repro.core.database import (
+    FileBackedDatabaseHandle,
     SharedArraySpec,
     SharedDatabaseHandle,
     SharedPartitionSpec,
@@ -45,6 +50,7 @@ __all__ = [
     "ChunkResult",
     "OrderedReassembler",
     "SharedDatabaseHandle",
+    "FileBackedDatabaseHandle",
     "SharedArraySpec",
     "SharedPartitionSpec",
     "shared_memory_available",

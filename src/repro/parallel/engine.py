@@ -2,11 +2,16 @@
 
 MetaCache-GPU keeps one resident database per device and streams read
 batches through all of them; :class:`ParallelClassifier` is the host
-analogue.  The database is exported **once** into shared memory
-(:class:`~repro.core.database.SharedDatabaseHandle`) and N spawned
-worker processes map it zero-copy, each running the unmodified
-single-process hot path on the chunks it pulls from a shared task
-queue.  Dynamic pulling load-balances skewed chunks automatically; an
+analogue.  The database is shared zero-copy with N spawned worker
+processes, each running the unmodified single-process hot path on the
+chunks it pulls from a shared task queue.  How it is shared depends on
+how it was opened (``Database.sharing_handle``): a database loaded
+from a format-v2 directory with ``mmap=True`` is attached by workers
+memory-mapping the same index files
+(:class:`~repro.core.database.FileBackedDatabaseHandle`, one physical
+copy in the page cache); any other database is exported **once** into
+shared memory
+(:class:`~repro.core.database.SharedDatabaseHandle`).  Dynamic pulling load-balances skewed chunks automatically; an
 :class:`~repro.parallel.chunks.OrderedReassembler` restores submission
 order, so results are byte-identical to a ``workers=1`` run.
 
@@ -34,7 +39,7 @@ import weakref
 from typing import Iterable, Iterator
 
 from repro.core.config import ClassificationParams
-from repro.core.database import Database, SharedDatabaseHandle
+from repro.core.database import Database
 from repro.errors import PipelineError, WorkerCrashError
 from repro.parallel.chunks import ChunkResult, OrderedReassembler, ReadChunk
 from repro.parallel.worker import worker_main
@@ -108,8 +113,9 @@ class ParallelClassifier:
     Parameters
     ----------
     database:
-        the database to serve; condensed (and therefore frozen) by
-        the shared-memory export.
+        the database to serve; mmap-opened databases are attached
+        file-backed by workers, anything else is condensed (and
+        therefore frozen) by the shared-memory export.
     workers:
         number of worker processes (>= 1).  The pool uses the
         ``spawn`` start method so workers genuinely attach the shared
@@ -150,7 +156,7 @@ class ParallelClassifier:
         self.workers = workers
         self.params = params or database.params.classification
         self.max_inflight = max_inflight or (2 * workers + 2)
-        self._handle = SharedDatabaseHandle.export(database)
+        self._handle = database.sharing_handle()
         self._state = {"closed": False}
         self._running = False
         ctx = mp.get_context("spawn")

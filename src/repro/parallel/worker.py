@@ -1,7 +1,10 @@
 """Worker-process entry point of the multi-process query engine.
 
-Each worker attaches the :class:`~repro.core.database.SharedDatabaseHandle`
-(zero-copy: the index arrays are mapped, not deserialized), then loops
+Each worker attaches the database handle it was spawned with -- a
+:class:`~repro.core.database.SharedDatabaseHandle` (shared-memory
+blocks) or a :class:`~repro.core.database.FileBackedDatabaseHandle`
+(the saved format-v2 directory, memory-mapped).  Both are zero-copy:
+the index arrays are mapped, not deserialized.  It then loops
 on the task queue running the exact single-process hot path —
 :func:`repro.core.query.query_database` followed by
 :func:`repro.core.classify.classify_reads` — on each
@@ -28,14 +31,19 @@ import time
 import traceback
 
 from repro.core.classify import classify_reads
-from repro.core.database import SharedDatabaseHandle
+from repro.core.database import FileBackedDatabaseHandle, SharedDatabaseHandle
 from repro.core.query import query_database
 from repro.parallel.chunks import ChunkResult, ReadChunk
 
 __all__ = ["worker_main"]
 
 
-def worker_main(worker_id: int, handle: SharedDatabaseHandle, tasks, results) -> None:
+def worker_main(
+    worker_id: int,
+    handle: "SharedDatabaseHandle | FileBackedDatabaseHandle",
+    tasks,
+    results,
+) -> None:
     """Run one worker process until the shutdown sentinel arrives.
 
     Parameters
@@ -44,8 +52,9 @@ def worker_main(worker_id: int, handle: SharedDatabaseHandle, tasks, results) ->
         dense index of this worker in the pool (for diagnostics and
         the benchmark's per-worker busy accounting).
     handle:
-        pickled-spec shared database handle; attached here, so the
-        worker maps the exporter's memory instead of copying it.
+        cheaply pickled database handle (shared-memory specs, or just
+        a directory path for mmap-backed databases); attached here, so
+        the worker maps the owner's memory instead of copying it.
     tasks / results:
         ``multiprocessing`` queues as described in the module docs.
 

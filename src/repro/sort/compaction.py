@@ -55,7 +55,8 @@ def read_segment_offsets(
     window_counts = np.asarray(window_counts, dtype=np.int64)
     if window_read_ids.shape != window_counts.shape:
         raise ValueError("window_read_ids and window_counts must match")
-    per_read = np.bincount(
-        window_read_ids, weights=window_counts, minlength=n_reads
-    ).astype(np.int64)
+    # integer scatter-add (bincount's weights= path sums in float64,
+    # losing exactness past 2^53 total locations)
+    per_read = np.zeros(n_reads, dtype=np.int64)
+    np.add.at(per_read, window_read_ids, window_counts)
     return exclusive_prefix_sum(per_read)

@@ -27,7 +27,11 @@ def sanitize_keys(keys: np.ndarray) -> np.ndarray:
     """Clamp keys colliding with the EMPTY sentinel (vectorized).
 
     Applied symmetrically on insert and retrieve so lookups stay
-    consistent.
+    consistent.  (:class:`repro.warpcore.single_value.SingleValueHashTable`
+    is the exception: its *insert* rejects the raw sentinel outright,
+    because clamping there would silently overwrite the clamp target's
+    value; its retrieve still clamps for lookup symmetry with the
+    multi-value build tables.)
     """
     k = np.asarray(keys, dtype=np.uint64) & np.uint64(0xFFFFFFFF)
     return np.where(k == np.uint64(EMPTY_KEY), k - np.uint64(1), k)

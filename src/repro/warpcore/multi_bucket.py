@@ -272,7 +272,10 @@ class MultiBucketHashTable:
         q = q[order]
         s = s[order]
         counts = self._counts[s].astype(np.int64)
-        per_query = np.bincount(q, weights=counts, minlength=n).astype(np.int64)
+        # integer scatter-add (bincount's weights= path sums in float64,
+        # losing exactness past 2^53)
+        per_query = np.zeros(n, dtype=np.int64)
+        np.add.at(per_query, q, counts)
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(per_query, out=offsets[1:])
         total = int(offsets[-1])

@@ -67,8 +67,8 @@ class SingleValueHashTable:
         Raises ``ValueError`` when the array shapes do not match the
         probing scheme's slot count.
         """
-        keys = np.asarray(keys)
-        values = np.asarray(values)
+        keys = np.asanyarray(keys)  # keep np.memmap views as memmaps
+        values = np.asanyarray(values)
         if keys.shape != (probing.n_slots,) or values.shape != (probing.n_slots,):
             raise ValueError(
                 f"slot arrays must have shape ({probing.n_slots},), "
@@ -111,8 +111,24 @@ class SingleValueHashTable:
 
         Duplicate keys within one batch resolve to the *last* value in
         submission order (matching sequential insertion semantics).
+
+        The key ``0xFFFFFFFF`` is **reserved** as the empty-slot
+        sentinel and rejected with ``ValueError``: silently remapping
+        it (what the multi-value build tables do) would alias it onto
+        ``0xFFFFFFFE`` and, in a single-*value* table, overwrite that
+        key's value -- a feature's pointer would vanish without a
+        trace.  Callers feeding sketch features never hit this: the
+        build tables reserve the sentinel at insert time, so condensed
+        keys arriving here are already clamped.  :meth:`retrieve`
+        keeps the symmetric clamp so queries for the raw sentinel
+        still find the clamped feature.
         """
-        pkeys = sanitize_keys(keys)
+        pkeys = np.asarray(keys, dtype=_U64) & np.uint64(0xFFFFFFFF)
+        if pkeys.size and bool((pkeys == _EMPTY64).any()):
+            raise ValueError(
+                "key 0xFFFFFFFF is reserved as the empty-slot sentinel and "
+                "cannot be inserted into a SingleValueHashTable"
+            )
         pvals = np.asarray(values, dtype=_U64)
         if pkeys.shape != pvals.shape:
             raise ValueError("keys and values must have the same shape")

@@ -219,3 +219,28 @@ class TestMerge:
             if v
         )
         assert got == exp
+
+    def test_merge_tie_break_matches_single_partition_order(self):
+        """Equal-score candidates rank identically merged or joint.
+
+        Engineered ties: six targets, two hits each, all scores equal.
+        Single-partition generation ranks ties by ascending target id
+        (location lists sort by packed (target, window)); merging
+        per-partition top lists must break the same ties the same way
+        regardless of which partition is listed first -- column order
+        decides which candidates survive the top-m cut and, downstream,
+        what the top-hit/LCA rule sees.
+        """
+        entries = [(t, 0) for t in range(6) for _ in range(2)]
+        joint = make_locations(entries)
+        c_joint = generate_top_candidates(joint, np.array([0, joint.size]), 3, 4)
+
+        odd = make_locations([e for e in entries if e[0] % 2 == 1])
+        even = make_locations([e for e in entries if e[0] % 2 == 0])
+        c_odd = generate_top_candidates(odd, np.array([0, odd.size]), 3, 4)
+        c_even = generate_top_candidates(even, np.array([0, even.size]), 3, 4)
+
+        for merged in (c_odd.merged_with(c_even), c_even.merged_with(c_odd)):
+            assert np.array_equal(merged.target, c_joint.target)
+            assert np.array_equal(merged.score, c_joint.score)
+            assert np.array_equal(merged.valid, c_joint.valid)

@@ -58,13 +58,25 @@ class TestCorruptDatabase:
         with pytest.raises(json.JSONDecodeError):
             load_database(path)
 
-    def test_unsupported_version(self, saved_db):
+    def test_newer_version_distinct_error(self, saved_db):
+        """A v999 database errors as 'newer version', naming the path."""
         path, _ = saved_db
         meta = json.loads((path / "database.meta").read_text())
         meta["format_version"] = 999
         (path / "database.meta").write_text(json.dumps(meta))
-        with pytest.raises(ValueError, match="unsupported database format"):
+        with pytest.raises(ValueError, match="written by a newer version") as exc:
             load_database(path)
+        assert str(path / "database.meta") in str(exc.value)
+
+    def test_non_integer_version_is_not_a_database(self, saved_db):
+        """A junk format_version errors as 'not a database', with path."""
+        path, _ = saved_db
+        meta = json.loads((path / "database.meta").read_text())
+        meta["format_version"] = "yes"
+        (path / "database.meta").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="not a MetaCache database") as exc:
+            load_database(path)
+        assert str(path / "database.meta") in str(exc.value)
 
     def test_missing_taxonomy_dump(self, saved_db):
         path, _ = saved_db

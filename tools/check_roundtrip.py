@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI gate: classification is byte-identical across database formats.
+
+Builds a small database, saves it in format v1, upgrades it to format
+v2 with :func:`repro.core.io.convert_database`, then classifies one
+simulated read file through the public API under four configurations:
+
+- v1 directory (the rebuild load path);
+- v2 directory, eager load;
+- v2 directory, ``mmap=True`` (zero-rebuild, page-cache-backed);
+- v2 directory, ``mmap=True`` + ``workers=2`` (worker processes
+  attach the same files via :class:`FileBackedDatabaseHandle`).
+
+The four TSV outputs must match byte for byte.  Exit status 0 when
+they do, 1 (with a diff summary) when any diverges.
+
+Usage:
+
+    PYTHONPATH=src python tools/check_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import MetaCache, TsvSink
+from repro.bench.workloads import hiseq_mini
+from repro.core.database import Database
+from repro.core.io import convert_database, save_database
+from repro.genomics.alphabet import decode_sequence
+from repro.genomics.fastq import FastqRecord, write_fastq
+
+
+def _classify(db_dir: Path, read_file: Path, out: Path, **open_kwargs) -> bytes:
+    """One classification run through the facade; returns the TSV bytes."""
+    with MetaCache.open(db_dir, **open_kwargs) as mc:
+        with mc.session() as session, TsvSink(out) as sink:
+            session.classify_files(read_file, sink=sink)
+    return out.read_bytes()
+
+
+def main() -> int:
+    """Run the four-way comparison; 0 = identical, 1 = divergence."""
+    dataset = hiseq_mini(600)
+    refset = dataset.refset
+    db = Database.build(refset.references, refset.taxonomy, n_partitions=2)
+
+    with tempfile.TemporaryDirectory(prefix="roundtrip-") as tmp:
+        tmp = Path(tmp)
+        v1_dir, v2_dir = tmp / "v1", tmp / "v2"
+        save_database(db, v1_dir)
+        convert_database(v1_dir, v2_dir)  # the upgrade path under test
+
+        read_file = tmp / "reads.fastq"
+        write_fastq(
+            [
+                FastqRecord(f"r{i}", decode_sequence(s), "I" * s.size)
+                for i, s in enumerate(dataset.reads.sequences)
+            ],
+            read_file,
+        )
+
+        configs = {
+            "v1": (v1_dir, {}),
+            "v2": (v2_dir, {}),
+            "v2+mmap": (v2_dir, {"mmap": True}),
+            "v2+mmap+workers=2": (v2_dir, {"mmap": True, "workers": 2}),
+        }
+        outputs = {
+            name: _classify(db_dir, read_file, tmp / f"{name}.tsv", **kwargs)
+            for name, (db_dir, kwargs) in configs.items()
+        }
+
+    reference_name, reference = next(iter(outputs.items()))
+    if not reference.strip():
+        print("FAIL: reference run produced empty output", file=sys.stderr)
+        return 1
+    failed = [
+        name for name, blob in outputs.items() if blob != reference
+    ]
+    for name in outputs:
+        status = "DIVERGED" if name in failed else "ok"
+        print(f"{name:>20}: {len(outputs[name]):7d} TSV bytes  [{status}]")
+    if failed:
+        print(
+            f"FAIL: {', '.join(failed)} diverged from {reference_name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {len(outputs)} configurations byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
