@@ -19,7 +19,9 @@ this facade only.  The full tour lives in README.md; the short one:
 Exports fall into four groups:
 
 - **facade & sessions**: :class:`MetaCache`, :class:`QuerySession`,
-  :func:`iter_batches`;
+  :func:`iter_batches`, plus the streaming build pipeline behind
+  ``MetaCache.build`` / ``MetaCache.extend``: :class:`DatabaseBuilder`
+  with its :class:`BuildStats` accounting;
 - **typed results**: :class:`ReadClassification`, :class:`RunReport`,
   :class:`ClassificationRun`, :class:`DatabaseInfo` (plus the raw
   :class:`Classification` / :class:`QueryResult` for array workflows);
@@ -32,6 +34,7 @@ Exports fall into four groups:
 """
 
 from repro.api.errors import (
+    BuildError,
     DatabaseFormatError,
     InvalidMappingError,
     InvalidReadError,
@@ -43,11 +46,16 @@ from repro.api.errors import (
 )
 from repro.api.facade import MetaCache, load_accession_mapping
 from repro.api.records import (
+    BuildStats,
     ClassificationRun,
     DatabaseInfo,
     ReadClassification,
     RunReport,
 )
+
+# the streaming build pipeline (MetaCache.build/extend drive this
+# internally; exported for callers orchestrating their own streams)
+from repro.core.builder import DatabaseBuilder
 from repro.api.session import DEFAULT_BATCH_SIZE, QuerySession, iter_batches
 from repro.api.sinks import (
     CollectSink,
@@ -76,6 +84,7 @@ from repro.parallel import (
     ChunkResult,
     FileBackedDatabaseHandle,
     ParallelClassifier,
+    ParallelSketcher,
     ReadChunk,
     SharedDatabaseHandle,
     shared_memory_available,
@@ -95,6 +104,7 @@ from repro.genomics.io import read_sequences
 __all__ = [
     # facade & sessions
     "MetaCache",
+    "DatabaseBuilder",
     "QuerySession",
     "iter_batches",
     "DEFAULT_BATCH_SIZE",
@@ -104,6 +114,7 @@ __all__ = [
     "RunReport",
     "ClassificationRun",
     "DatabaseInfo",
+    "BuildStats",
     "Classification",
     "QueryResult",
     # sinks
@@ -121,6 +132,7 @@ __all__ = [
     "read_kraken",
     # errors
     "MetaCacheError",
+    "BuildError",
     "DatabaseFormatError",
     "InvalidReadError",
     "InvalidMappingError",
@@ -130,6 +142,7 @@ __all__ = [
     "SharedMemoryUnavailableError",
     # multi-process engine
     "ParallelClassifier",
+    "ParallelSketcher",
     "ReadChunk",
     "ChunkResult",
     "SharedDatabaseHandle",

@@ -6,6 +6,7 @@ documented import location.
 """
 
 from repro.errors import (
+    BuildError,
     DatabaseFormatError,
     InvalidMappingError,
     InvalidReadError,
@@ -18,6 +19,7 @@ from repro.errors import (
 
 __all__ = [
     "MetaCacheError",
+    "BuildError",
     "DatabaseFormatError",
     "InvalidReadError",
     "InvalidMappingError",

@@ -7,6 +7,12 @@
   in-memory database from already-parsed references in seconds and
   query it immediately, no disk round trip (Sections 4, 6.3).
 
+An opened or built handle can also *grow*: :meth:`MetaCache.extend`
+streams additional references into the existing index through
+:class:`repro.core.builder.DatabaseBuilder` (the ``metacache-repro
+add`` subcommand), producing the same bytes a from-scratch build of
+the full collection would.
+
 Everything downstream (the CLI, the examples, future serving layers)
 talks to this facade and the :class:`~repro.api.session.QuerySession`
 it hands out, so sharding / async serving / caching can be added
@@ -26,7 +32,7 @@ import numpy as np
 
 from repro.api.records import ClassificationRun, DatabaseInfo
 from repro.api.session import QuerySession
-from repro.core.build import build_from_fasta
+from repro.core.builder import DatabaseBuilder
 from repro.core.config import ClassificationParams, MetaCacheParams
 from repro.core.database import Database
 from repro.core.io import convert_database, load_database, save_database
@@ -193,26 +199,38 @@ class MetaCache:
         devices=None,
         batch_size: int = 32,
         workers: int = 1,
+        build_workers: int = 1,
+        progress=None,
     ) -> "MetaCache":
-        """Build from reference FASTA files through the threaded pipeline.
+        """Build from reference FASTA files through the streaming pipeline.
 
+        A thin client of :class:`repro.core.builder.DatabaseBuilder`:
+        the files stream through a producer thread in bounded memory
+        (peak resident is set by the insert batch, not the corpus).
         ``taxonomy`` may be a :class:`Taxonomy` or a directory holding
         ``nodes.dmp``/``names.dmp``; ``mapping`` a dict or a TSV path.
-        ``workers`` is the default query fan-out (see :meth:`open`).
+        ``workers`` is the default query fan-out (see :meth:`open`);
+        ``build_workers=N`` fans the sketch phase out over N worker
+        processes (byte-identical result for any N); ``progress`` is
+        an optional callback receiving a
+        :class:`~repro.api.records.BuildStats` snapshot per ingested
+        reference.  Raises :class:`repro.errors.BuildError` for
+        unmapped accessions or unknown taxa.
         """
         tax = _resolve_taxonomy(taxonomy)
         if not isinstance(mapping, Mapping):
             mapping = load_accession_mapping(mapping)
         with Timer() as t:
-            db = build_from_fasta(
-                refs,
+            with DatabaseBuilder(
                 tax,
-                dict(mapping),
-                params=params,
+                params,
                 n_partitions=n_partitions,
                 devices=devices,
-                batch_size=batch_size,
-            )
+                sketch_workers=build_workers,
+                on_progress=progress,
+            ) as builder:  # `with`: sketch workers die even on failure
+                builder.add_fasta(refs, dict(mapping), batch_size=batch_size)
+                db = builder.finalize(condense=False)
         return cls(db, build_seconds=t.elapsed, workers=workers)
 
     @classmethod
@@ -225,32 +243,136 @@ class MetaCache:
         n_partitions: int = 1,
         devices=None,
         workers: int = 1,
+        build_workers: int = 1,
+        progress=None,
     ) -> "MetaCache":
         """On-the-fly mode: in-memory build, queryable immediately.
 
         ``references`` are ``(name, sequence, taxon_id)`` triples with
-        the sequence either an encoded uint8 array or a plain string.
-        The hash table stays in the build layout (~20% slower queries
-        than the condensed layout, Fig. 4) but there is no write+load
-        cycle at all -- ``time_to_query`` is just the build.
-        ``workers`` is the default query fan-out (see :meth:`open`);
-        note the shared-memory export condenses the database on first
-        parallel use.
+        the sequence either an encoded uint8 array or a plain string;
+        the iterable is consumed lazily, so a generator streams
+        through in bounded memory.  The hash table stays in the build
+        layout (~20% slower queries than the condensed layout, Fig. 4)
+        but there is no write+load cycle at all -- ``time_to_query``
+        is just the build.  ``workers`` is the default query fan-out
+        (see :meth:`open`); ``build_workers`` / ``progress`` behave as
+        in :meth:`build`.  Note the shared-memory export condenses the
+        database on first parallel use.  Raises
+        :class:`repro.errors.BuildError` for unknown taxa.
         """
         tax = _resolve_taxonomy(taxonomy)
-        refs = [
-            (name, encode_sequence(seq) if isinstance(seq, str) else seq, taxon)
-            for name, seq, taxon in references
-        ]
         with Timer() as t:
-            db = Database.build(
-                refs,
+            with DatabaseBuilder(
                 tax,
-                params=params,
+                params,
                 n_partitions=n_partitions,
                 devices=devices,
-            )
+                sketch_workers=build_workers,
+                on_progress=progress,
+            ) as builder:  # `with`: sketch workers die even on failure
+                for name, seq, taxon in references:
+                    builder.add_reference(
+                        name,
+                        encode_sequence(seq) if isinstance(seq, str) else seq,
+                        taxon,
+                    )
+                db = builder.finalize(condense=False)
         return cls(db, build_seconds=t.elapsed, workers=workers)
+
+    # -------------------------------------------------------------- extension
+
+    def extend(
+        self,
+        refs: Sequence[str | os.PathLike] | None = None,
+        mapping: Mapping[str, int] | str | os.PathLike | None = None,
+        *,
+        references: Iterable[tuple[str, "np.ndarray | str", int]] | None = None,
+        batch_size: int = 32,
+        build_workers: int = 1,
+        progress=None,
+    ) -> "MetaCache":
+        """Add reference targets to this database, in place.
+
+        The growth path: instead of reconstructing the index from
+        scratch when the reference collection grows, the existing
+        database is handed to
+        :meth:`repro.core.builder.DatabaseBuilder.from_database` and
+        the new targets stream in exactly as a continued build would
+        have ingested them -- a database built from ``A`` then
+        extended with ``B`` is byte-identical (saved bytes and
+        classification output) to one built from ``A + B`` in one
+        shot.  The existing references are never re-parsed or
+        re-sketched (the dominant build cost); their index content is
+        re-inserted into fresh tables, which costs O(index) time and
+        a transient second copy of the index in memory.  Re-save with
+        :meth:`save` to persist.
+
+        Parameters
+        ----------
+        refs / mapping:
+            reference FASTA files plus an accession -> taxid mapping
+            (dict or TSV path), as in :meth:`build`.
+        references:
+            alternatively (or additionally, ingested after ``refs``),
+            in-memory ``(name, sequence, taxon_id)`` triples as in
+            :meth:`ephemeral`.
+        batch_size / build_workers / progress:
+            as in :meth:`build`.
+
+        Open sessions keep classifying against the pre-extension
+        database; create a new session afterwards.  The handle's
+        default sessions are closed here for that reason.  Returns
+        ``self`` so calls chain into :meth:`save`.
+
+        Raises
+        ------
+        repro.errors.BuildError
+            for unmapped accessions or unknown taxa.  The handle is
+            only switched to the extended database after a fully
+            successful build: on failure it keeps serving the
+            original, untouched database.
+        ValueError
+            when neither ``refs`` nor ``references`` is given, or
+            ``refs`` is given without ``mapping``.
+        """
+        if refs is None and references is None:
+            raise ValueError("extend needs refs (files) and/or references")
+        if refs is not None and mapping is None:
+            raise ValueError("extend with refs requires a mapping")
+        was_condensed = all(
+            p.table is None for p in self.database.partitions
+        )
+        source_format = self.database.format_version
+        with Timer() as t:
+            with DatabaseBuilder.from_database(
+                self.database,
+                sketch_workers=build_workers,
+                on_progress=progress,
+            ) as builder:  # `with`: sketch workers die even on failure
+                if refs is not None:
+                    if not isinstance(mapping, Mapping):
+                        mapping = load_accession_mapping(mapping)
+                    builder.add_fasta(
+                        refs, dict(mapping), batch_size=batch_size
+                    )
+                if references is not None:
+                    for name, seq, taxon in references:
+                        builder.add_reference(
+                            name,
+                            encode_sequence(seq) if isinstance(seq, str) else seq,
+                            taxon,
+                        )
+                db = builder.finalize(condense=was_condensed)
+        # sessions pinned to the replaced database are closed; record
+        # the source's on-disk format so `save` defaults sensibly
+        for session in list(self._sessions):
+            session.close()
+        self._default_session = None
+        self.database.release_devices()
+        db.format_version = source_format
+        self.database = db
+        self._build_seconds += t.elapsed
+        return self
 
     # ---------------------------------------------------------------- queries
 

@@ -14,6 +14,11 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+# BuildStats lives beside the builder (repro.core.builder) because the
+# builder publishes snapshots of it while running; it is re-exported
+# here because this module is the documented home of typed records.
+from repro.core.builder import BuildStats
+
 if TYPE_CHECKING:  # imported for typing only; records stay layer-free
     from repro.core.classify import Classification
     from repro.core.database import Database
@@ -24,6 +29,7 @@ __all__ = [
     "RunReport",
     "ClassificationRun",
     "DatabaseInfo",
+    "BuildStats",
     "records_from_classification",
 ]
 

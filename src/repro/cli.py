@@ -3,7 +3,12 @@
 Subcommands:
 
 - ``build``  -- reference FASTA files + NCBI taxonomy dumps +
-  accession->taxid mapping -> saved database (Section 4.1).
+  accession->taxid mapping -> saved database (Section 4.1);
+  ``--build-workers N`` fans the sketch phase out over N processes.
+- ``add``    -- stream additional reference FASTA files into an
+  existing database and re-save it, byte-identical to a from-scratch
+  build of the full collection; the existing references are never
+  re-parsed or re-sketched (their index content is re-inserted).
 - ``query``  -- saved database + read files (FASTA/FASTQ, plain or
   gzip'd, optionally paired) -> per-read classification in any
   registered sink format, optional abundance table (Section 4.2);
@@ -58,11 +63,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
         mapping=args.mapping,
         params=params,
         n_partitions=args.partitions,
+        build_workers=args.build_workers,
     )
     files = mc.save(args.out, format=args.format)
     print(
         f"built {mc.n_targets} targets ({mc.total_windows:,} windows) into "
         f"{mc.n_partitions} partition(s); wrote {len(files)} files to {args.out}"
+    )
+    return 0
+
+
+def _cmd_add(args: argparse.Namespace) -> int:
+    mc = MetaCache.open(args.db)
+    before = mc.n_targets
+    mc.extend(
+        args.refs, mapping=args.mapping, build_workers=args.build_workers
+    )
+    out = args.out if args.out else args.db
+    fmt = args.format or mc.database.format_version or 1
+    files = mc.save(out, format=fmt)
+    print(
+        f"added {mc.n_targets - before} targets to {args.db} "
+        f"(now {mc.n_targets} targets, {mc.total_windows:,} windows); "
+        f"wrote {len(files)} files to {out}"
     )
     return 0
 
@@ -169,7 +192,26 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--format", type=int, default=1, choices=(1, 2),
                    help="on-disk format: 1 = compressed NPZ (default), "
                         "2 = mmap-ready aligned .npy + checksum manifest")
+    b.add_argument("--build-workers", type=int, default=1,
+                   help="sketch worker processes for the build's parallel "
+                        "sketch phase (default 1 = inline; output is "
+                        "byte-identical for any count)")
     b.set_defaults(func=_cmd_build)
+
+    a = sub.add_parser(
+        "add", help="add reference sequences to an existing database"
+    )
+    a.add_argument("refs", nargs="+", help="reference FASTA file(s) to add")
+    a.add_argument("--db", required=True, help="existing database directory")
+    a.add_argument("--mapping", required=True,
+                   help="TSV mapping accession -> taxid for the new refs")
+    a.add_argument("--out",
+                   help="output directory (default: rewrite --db in place)")
+    a.add_argument("--format", type=int, default=None, choices=(1, 2),
+                   help="on-disk format (default: keep the source's)")
+    a.add_argument("--build-workers", type=int, default=1,
+                   help="sketch worker processes (as in build)")
+    a.set_defaults(func=_cmd_add)
 
     q = sub.add_parser("query", help="classify reads against a database")
     q.add_argument("--db", required=True, help="database directory")

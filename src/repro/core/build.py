@@ -1,24 +1,26 @@
-"""File-based database construction through the threaded pipeline.
+"""File-based database construction (legacy entry point).
 
-The in-memory :meth:`Database.build` is the core; this module adds the
-paper's operational entry point (Fig. 2 left half): producer threads
-parse reference FASTA files while the consumer assembles the build,
-resolving each sequence header to its taxon through an
-accession -> taxon mapping (the role NCBI's ``accession2taxid`` files
-play for real MetaCache).
+Historically this module owned the threaded one-shot build; the
+pipeline now lives in :class:`repro.core.builder.DatabaseBuilder`,
+which streams FASTA files in bounded memory, supports parallel sketch
+workers, and can extend an existing database.  What remains here:
+
+- :func:`accession_of` -- header -> accession resolution (the role
+  NCBI's ``accession2taxid`` files play for real MetaCache);
+- :func:`build_from_fasta` -- a deprecated thin wrapper kept so
+  pre-builder callers continue to work unchanged.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Sequence
 
+from repro.core.builder import DatabaseBuilder
 from repro.core.config import MetaCacheParams
 from repro.core.database import Database
 from repro.gpu.device import Device
-from repro.pipeline.producer import fasta_producer
-from repro.pipeline.queues import ClosableQueue
-from repro.pipeline.scheduler import run_producer_consumer
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = ["build_from_fasta", "accession_of"]
@@ -29,9 +31,14 @@ def accession_of(header: str) -> str:
 
     ``SYN_001_002.3 some description`` -> ``SYN_001_002`` (every
     scaffold of an assembly maps to the same taxon, as with NCBI
-    assembly accessions).
+    assembly accessions).  Empty and all-whitespace headers resolve
+    to the empty accession; only a purely numeric suffix after the
+    last dot is treated as a scaffold index.
     """
-    token = header.split()[0] if header.split() else ""
+    parts = header.split(None, 1)
+    if not parts:
+        return ""
+    token = parts[0]
     if "." in token:
         base, _, suffix = token.rpartition(".")
         if suffix.isdigit():
@@ -50,48 +57,28 @@ def build_from_fasta(
 ) -> Database:
     """Build a database from reference FASTA files.
 
-    Producer threads parse the files concurrently (one per file, like
-    MetaCache's producers); the consumer collects the encoded
-    sequences in input order and runs the partitioned build.  Headers
-    whose accession is missing from ``accession_to_taxon`` raise
-    ``KeyError`` -- silently dropping references would corrupt every
-    downstream accuracy number.
+    .. deprecated::
+        use :class:`repro.core.builder.DatabaseBuilder` (or
+        :meth:`repro.api.MetaCache.build`) instead -- this wrapper
+        merely drives the builder's :meth:`~DatabaseBuilder.add_fasta`
+        and produces byte-identical results.
+
+    Headers whose accession is missing from ``accession_to_taxon``
+    raise :class:`repro.errors.BuildError` (a ``KeyError``) naming
+    the file and header -- silently dropping references would corrupt
+    every downstream accuracy number.
     """
-    params = params or MetaCacheParams()
-
-    def consume(q: ClosableQueue):
-        collected: list[tuple[int, str, object]] = []
-        for batch in q:
-            for header, codes, seq_id in zip(
-                batch.headers, batch.sequences, batch.ids
-            ):
-                collected.append((seq_id, header, codes))
-        return collected
-
-    # Each file's producer numbers its sequences in a disjoint id
-    # range so the global order is deterministic (file order, then
-    # in-file order) no matter how threads interleave.
-    _FILE_STRIDE = 1 << 40
-    producers = [
-        (
-            lambda q, p=path, off=i * _FILE_STRIDE: fasta_producer(
-                [p], q, batch_size=batch_size, id_offset=off
-            )
-        )
-        for i, path in enumerate(paths)
-    ]
-    results = run_producer_consumer(producers=producers, consumers=[consume])
-    collected = sorted(results[0], key=lambda item: item[0])
-    references = []
-    for _, header, codes in collected:
-        acc = accession_of(header)
-        if acc not in accession_to_taxon:
-            raise KeyError(f"accession {acc!r} not in accession_to_taxon mapping")
-        references.append((header, codes, accession_to_taxon[acc]))
-    return Database.build(
-        references,
+    warnings.warn(
+        "build_from_fasta is deprecated; use repro.core.builder."
+        "DatabaseBuilder (or MetaCache.build) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with DatabaseBuilder(
         taxonomy,
-        params=params,
+        params,
         n_partitions=n_partitions,
         devices=devices,
-    )
+    ) as builder:
+        builder.add_fasta(paths, accession_to_taxon, batch_size=batch_size)
+        return builder.finalize(condense=False)

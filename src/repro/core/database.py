@@ -31,12 +31,9 @@ import numpy as np
 from repro.core.config import MetaCacheParams
 from repro.errors import SharedMemoryUnavailableError
 from repro.gpu.device import Device
-from repro.hashing.minhash import SKETCH_PAD
-from repro.hashing.sketch import sketch_sequence
 from repro.taxonomy.lca import LcaIndex
 from repro.taxonomy.lineage import RankedLineages
 from repro.taxonomy.tree import Taxonomy
-from repro.util.bitops import pack_pairs
 from repro.warpcore.multi_bucket import MultiBucketHashTable
 from repro.warpcore.single_value import SingleValueHashTable
 
@@ -195,104 +192,30 @@ class Database:
     ) -> "Database":
         """Build a database from (name, encoded_sequence, taxon_id) triples.
 
-        Targets are assigned to partitions greedily by accumulated
-        length (lightest partition first), never splitting a target.
-        When ``devices`` are given, each partition's table allocation
-        is charged against its device's memory pool and
-        ``OutOfDeviceMemory`` propagates -- callers then retry with
-        more partitions, exactly like the real workflow.
+        A thin wrapper over :class:`repro.core.builder.DatabaseBuilder`
+        (the streaming build pipeline): ``references`` is consumed
+        lazily -- a generator streams through in bounded memory --
+        targets are assigned to partitions online-greedily by
+        accumulated length (lightest partition first, per arrival),
+        never splitting a target.  When ``devices`` are given, each
+        partition's table allocation is charged against its device's
+        memory pool and ``OutOfDeviceMemory`` propagates -- callers
+        then retry with more partitions, exactly like the real
+        workflow.  Raises :class:`repro.errors.BuildError` (a
+        ``KeyError``) for a taxon id absent from the taxonomy.
         """
-        params = params or MetaCacheParams()
-        refs = list(references)
-        if devices is not None:
-            if len(devices) < n_partitions:
-                raise ValueError("need at least one device per partition")
-        stride = params.window_stride
-        s = params.sketch.sketch_size
+        from repro.core.builder import DatabaseBuilder
 
-        # -- partition assignment: greedy by base count
-        part_load = np.zeros(n_partitions, dtype=np.int64)
-        assignment: list[int] = []
-        for _, codes, _ in refs:
-            p = int(np.argmin(part_load))
-            assignment.append(p)
-            part_load[p] += codes.size
-
-        # -- allocate one table per partition, sized by its share
-        partitions: list[DatabasePartition] = []
-        for p in range(n_partitions):
-            bases = int(part_load[p])
-            est_windows = max(1, bases // stride + len(refs))
-            est_features = est_windows * s
-            table = MultiBucketHashTable(
-                capacity_values=max(256, est_features),
-                bucket_size=params.bucket_size,
-                group_size=params.group_size,
-                max_load_factor=params.max_load_factor,
-                max_locations_per_key=params.max_locations_per_feature,
-                expected_unique_keys=max(256, int(est_features * 0.8)),
-            )
-            device = devices[p] if devices is not None else None
-            alloc_name = f"partition{p}/table"
-            if device is not None:
-                device.memory.alloc(alloc_name, table.stats().bytes_total)
-            partitions.append(
-                DatabasePartition(
-                    partition_id=p,
-                    table=table,
-                    device=device,
-                    allocation_name=alloc_name,
-                )
-            )
-
-        # -- sketch and insert every target
-        targets: list[TargetRecord] = []
-        pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
-            p: [] for p in range(n_partitions)
-        }
-        pending_windows = {p: 0 for p in range(n_partitions)}
-
-        def flush(p: int) -> None:
-            if not pending[p]:
-                return
-            feats = np.concatenate([f for f, _ in pending[p]])
-            locs = np.concatenate([l for _, l in pending[p]])
-            partitions[p].table.insert(feats, locs)
-            pending[p].clear()
-            pending_windows[p] = 0
-
-        for t, (name, codes, taxon_id) in enumerate(refs):
-            if taxon_id not in taxonomy:
-                raise KeyError(f"taxon {taxon_id} of target {name!r} not in taxonomy")
-            p = assignment[t]
-            sketches = sketch_sequence(codes, params.sketch)
-            n_windows = sketches.shape[0]
-            targets.append(
-                TargetRecord(
-                    target_id=t,
-                    name=name,
-                    taxon_id=taxon_id,
-                    length=int(codes.size),
-                    n_windows=n_windows,
-                    partition_id=p,
-                )
-            )
-            if n_windows:
-                window_ids = np.repeat(
-                    np.arange(n_windows, dtype=np.uint64), sketches.shape[1]
-                )
-                feats = sketches.reshape(-1)
-                valid = feats != SKETCH_PAD
-                locs = pack_pairs(
-                    np.full(valid.sum(), t, dtype=np.uint64), window_ids[valid]
-                )
-                pending[p].append((feats[valid], locs))
-                pending_windows[p] += n_windows
-                if pending_windows[p] >= insert_batch_windows:
-                    flush(p)
-        for p in range(n_partitions):
-            flush(p)
-        return cls(params=params, taxonomy=taxonomy, partitions=partitions, targets=targets)
+        builder = DatabaseBuilder(
+            taxonomy,
+            params,
+            n_partitions=n_partitions,
+            devices=devices,
+            insert_batch_windows=insert_batch_windows,
+        )
+        for name, codes, taxon_id in references:
+            builder.add_reference(name, codes, taxon_id)
+        return builder.finalize(condense=False)
 
     # ------------------------------------------------------------------ query
 

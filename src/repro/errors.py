@@ -16,6 +16,7 @@ from __future__ import annotations
 
 __all__ = [
     "MetaCacheError",
+    "BuildError",
     "DatabaseFormatError",
     "InvalidReadError",
     "InvalidMappingError",
@@ -28,6 +29,47 @@ __all__ = [
 
 class MetaCacheError(Exception):
     """Base class for every error raised by the public API."""
+
+
+class BuildError(MetaCacheError, KeyError):
+    """Reference input cannot be turned into database content.
+
+    Raised during database construction for an accession with no
+    entry in the accession -> taxid mapping or a reference whose
+    taxon id is absent from the taxonomy.  Derives from ``KeyError``
+    because that is what the pre-builder code raised -- existing
+    ``except KeyError`` call sites keep working.  The message always
+    names the offending file/header/taxon; the structured fields are
+    also carried as attributes for programmatic handling.
+
+    Attributes
+    ----------
+    file:
+        the reference file being ingested (``None`` for in-memory
+        references).
+    header:
+        the sequence header (or target name) that failed.
+    taxon_id:
+        the unknown taxon id (``None`` for mapping failures).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: "str | None" = None,
+        header: "str | None" = None,
+        taxon_id: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.file = file
+        self.header = header
+        self.taxon_id = taxon_id
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; restore plain text so
+        # the file/header/taxon context reads naturally in tracebacks.
+        return self.args[0] if self.args else ""
 
 
 class DatabaseFormatError(MetaCacheError, ValueError):

@@ -29,6 +29,12 @@ used.  Direct use looks like::
         for result in engine.classify_chunks(batches):
             ...  # ChunkResults, in submission order
 
+The *build* side has a sibling pool: :class:`ParallelSketcher` fans
+encoded reference sequences out over sketch worker processes for the
+streaming :class:`repro.core.builder.DatabaseBuilder` (the paper's
+two-phase construction pipeline); most callers reach it through
+``build_workers=N`` on the facade's build entry points.
+
 Layering note: this package sits *below* ``repro.api`` (it depends
 only on ``repro.core`` and ``repro.pipeline``); the facade converts
 :class:`~repro.parallel.chunks.ChunkResult` arrays into typed records.
@@ -42,10 +48,13 @@ from repro.core.database import (
 )
 from repro.parallel.chunks import ChunkResult, OrderedReassembler, ReadChunk
 from repro.parallel.engine import ParallelClassifier, shared_memory_available
+from repro.parallel.sketch import ParallelSketcher, sketch_worker_main
 from repro.parallel.worker import worker_main
 
 __all__ = [
     "ParallelClassifier",
+    "ParallelSketcher",
+    "sketch_worker_main",
     "ReadChunk",
     "ChunkResult",
     "OrderedReassembler",

@@ -1,0 +1,350 @@
+"""The parallel sketch phase of the build pipeline (worker pool).
+
+MetaCache-GPU's database construction is a two-phase producer/consumer
+pipeline (Fig. 2): producers parse and *sketch* reference sequences in
+parallel while a consumer performs ordered batched inserts into the
+hash table.  :class:`ParallelSketcher` is the host-side sketch phase:
+``N`` spawned worker processes each run
+:func:`repro.hashing.sketch.sketch_sequence` on the encoded sequences
+they pull from a shared task queue, and the caller (the consumer —
+:class:`repro.core.builder.DatabaseBuilder`) drains the per-window
+sketch matrices back **in submission order**, so the insert stream is
+bit-identical to a serial build no matter how workers interleave.
+
+The pool mirrors :class:`repro.parallel.engine.ParallelClassifier`'s
+lifecycle and failure model on a smaller surface:
+
+- workers send an attach/ready handshake before the first job is
+  considered schedulable, so a broken spawn environment fails fast;
+- a job that raises inside a worker surfaces as
+  :class:`~repro.errors.PipelineError` carrying the worker traceback;
+- a worker that dies (OOM kill, segfault, ...) surfaces as
+  :class:`~repro.errors.WorkerCrashError`;
+- both paths shut the whole pool down, so no orphan processes survive
+  a failed build.
+
+Jobs are submitted with dense ids (0, 1, 2, ...); ``max_inflight``
+bounds how many sequences are pickled into the queues at once, which
+is what keeps the streaming build's peak memory independent of the
+corpus size even with many workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+import weakref
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import PipelineError, WorkerCrashError
+from repro.hashing.sketch import SketchParams, sketch_sequence
+
+__all__ = ["ParallelSketcher", "sketch_worker_main"]
+
+_POLL_SECONDS = 0.1
+
+
+def sketch_worker_main(worker_id: int, params: SketchParams, tasks, results) -> None:
+    """Run one sketch worker until the shutdown sentinel arrives.
+
+    Parameters
+    ----------
+    worker_id:
+        dense index of this worker in the pool (for diagnostics).
+    params:
+        the sketching configuration every job uses (k, s, w are
+        database-wide constants, so they travel once at spawn).
+    tasks / results:
+        ``multiprocessing`` queues.  Tasks are ``(job_id, codes)``
+        pairs (encoded uint8 sequences) and ``None`` as the shutdown
+        sentinel; results are ``("ready", worker_id)``,
+        ``("ok", job_id, sketches)`` with the ``(n_windows, s)``
+        uint64 sketch matrix, or
+        ``("error", job_id, type_name, message, traceback_text)``.
+
+    Never raises: every failure is reported on ``results`` and the
+    worker either continues (per-job errors) or exits (sentinel).
+    """
+    results.put(("ready", worker_id))
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        job_id, codes = task
+        try:
+            results.put(("ok", job_id, sketch_sequence(codes, params)))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            results.put(
+                (
+                    "error",
+                    job_id,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                )
+            )
+
+
+def _shutdown_sketch_pool(state: dict, procs: list, tasks, results) -> None:
+    """Idempotent pool teardown shared by close() and the GC finalizer.
+
+    Sentinels every worker, escalates to terminate/kill on stragglers,
+    then releases the queues.  Never raises: teardown must succeed
+    even mid-crash.
+    """
+    if state["closed"]:
+        return
+    state["closed"] = True
+    for _ in procs:
+        try:
+            tasks.put(None)
+        except (OSError, ValueError):  # queue already broken
+            break
+    deadline = time.monotonic() + 5.0
+    for p in procs:
+        p.join(timeout=max(0.0, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - terminate() nearly always lands
+            p.kill()
+            p.join(timeout=1.0)
+    for q in (tasks, results):
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+class ParallelSketcher:
+    """A pool of worker processes sketching reference sequences.
+
+    The sketch phase of the two-phase build pipeline: the caller
+    submits ``(job_id, codes)`` pairs with dense ids and drains
+    ``(job_id, sketches)`` results strictly **in submission order**
+    via :meth:`drain` / :meth:`drain_all`, so the downstream insert
+    stream is identical to a serial build.
+
+    Parameters
+    ----------
+    params:
+        sketching configuration shared by every job.
+    workers:
+        number of worker processes (>= 1); the pool uses the
+        ``spawn`` start method, like the query engine.
+    max_inflight:
+        jobs outstanding before :meth:`submit` refuses more work
+        (callers interleave :meth:`drain`); bounds the sequences
+        pickled into the queues.  Default ``2 * workers + 2``.
+    start_timeout:
+        seconds to wait for every worker's ready handshake.
+
+    The pool is a context manager; :meth:`close` (idempotent, also
+    invoked by a GC finalizer as a safety net) tears it down.
+
+    Raises
+    ------
+    WorkerCrashError
+        when a worker dies during startup or mid-run.
+    PipelineError
+        when a job raises inside a worker.
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        workers: int,
+        *,
+        max_inflight: int | None = None,
+        start_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.params = params
+        self.max_inflight = max_inflight or (2 * workers + 2)
+        self._state = {"closed": False}
+        self._inflight = 0
+        self._next_submit = 0
+        self._next_drain = 0
+        self._buffer: dict[int, np.ndarray] = {}
+        ctx = mp.get_context("spawn")
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=sketch_worker_main,
+                args=(wid, params, self._tasks, self._results),
+                daemon=True,
+                name=f"metacache-sketcher-{wid}",
+            )
+            for wid in range(workers)
+        ]
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_sketch_pool,
+            self._state,
+            self._procs,
+            self._tasks,
+            self._results,
+        )
+        try:
+            for p in self._procs:
+                p.start()
+            self._await_ready(start_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- startup
+
+    def _await_ready(self, timeout: float) -> None:
+        """Wait for every worker's ready handshake (or fail fast)."""
+        ready: set[int] = set()
+        deadline = time.monotonic() + timeout
+        while len(ready) < self.workers:
+            self._check_workers()
+            try:
+                msg = self._results.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        f"only {len(ready)}/{self.workers} sketch workers "
+                        f"ready after {timeout:.0f}s"
+                    )
+                continue
+            if msg[0] == "ready":
+                ready.add(msg[1])
+
+    # ---------------------------------------------------------- submission
+
+    @property
+    def inflight(self) -> int:
+        """Jobs submitted but not yet drained (includes buffered)."""
+        return self._inflight
+
+    def submit(self, job_id: int, codes: np.ndarray) -> None:
+        """Queue one sequence for sketching.
+
+        ``job_id`` must continue the dense submission sequence
+        (0, 1, 2, ...) — ordered draining is defined over contiguous
+        ids — and the pool must have in-flight headroom (drain first
+        when :attr:`inflight` reaches :attr:`max_inflight`).
+
+        Raises ``ValueError`` on an out-of-sequence id or a full
+        pool, ``PipelineError`` when the pool is closed.
+        """
+        if self._state["closed"]:
+            raise PipelineError("sketch pool is closed")
+        if job_id != self._next_submit:
+            raise ValueError(
+                f"job submitted as {job_id}, expected {self._next_submit}"
+            )
+        if self._inflight >= self.max_inflight:
+            raise ValueError("sketch pool is full; drain results first")
+        self._tasks.put((job_id, codes))
+        self._next_submit += 1
+        self._inflight += 1
+
+    # ------------------------------------------------------------ draining
+
+    def drain(self, below: int) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield in-order results until fewer than ``below`` are in flight.
+
+        Blocks on the result queue as needed; watches for worker
+        crashes while waiting.  Yields ``(job_id, sketches)`` with
+        contiguous ids continuing the last drained job.
+
+        Raises
+        ------
+        PipelineError
+            a job raised inside a worker (original traceback in the
+            message); the pool is closed before raising.
+        WorkerCrashError
+            a worker process died; the pool is closed before raising.
+        """
+        try:
+            while self._inflight >= max(1, below):
+                while self._next_drain not in self._buffer:
+                    self._pump()
+                sketches = self._buffer.pop(self._next_drain)
+                job = self._next_drain
+                self._next_drain += 1
+                self._inflight -= 1
+                yield job, sketches
+        except BaseException:
+            self.close()
+            raise
+
+    def drain_all(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield every outstanding result, in submission order.
+
+        Same contract and failure behavior as :meth:`drain`; used by
+        the consumer's flush/finalize path.
+        """
+        yield from self.drain(1)
+
+    def _pump(self) -> None:
+        """Move one message from the result queue into the buffer."""
+        try:
+            msg = self._results.get(timeout=_POLL_SECONDS)
+        except queue_mod.Empty:
+            self._check_workers()
+            return
+        kind = msg[0]
+        if kind == "ok":
+            _, job_id, sketches = msg
+            self._buffer[job_id] = sketches
+        elif kind == "error":
+            _, job_id, type_name, message, tb = msg
+            raise PipelineError(
+                f"sketch worker failed on sequence {job_id}: "
+                f"{type_name}: {message}\n--- worker traceback ---\n{tb}"
+            )
+        elif kind not in ("ready",):  # pragma: no cover - protocol bug
+            raise PipelineError(f"unexpected sketch worker message {kind!r}")
+
+    def _check_workers(self) -> None:
+        """Raise WorkerCrashError if any worker died unexpectedly."""
+        dead = [
+            (p.name, p.exitcode)
+            for p in self._procs
+            if p.exitcode not in (None, 0)
+        ]
+        if dead:
+            names = ", ".join(f"{n} (exit code {c})" for n, c in dead)
+            raise WorkerCrashError(f"sketch worker process died: {names}")
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool is torn down (no longer usable)."""
+        return self._state["closed"]
+
+    def close(self) -> None:
+        """Tear the pool down (idempotent)."""
+        _shutdown_sketch_pool(
+            self._state, self._procs, self._tasks, self._results
+        )
+
+    def __enter__(self) -> "ParallelSketcher":
+        """Enter a ``with`` block; returns the pool itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the pool on ``with`` block exit."""
+        self.close()
+
+    def __repr__(self) -> str:
+        """Short state summary: worker count and open/closed."""
+        state = "closed" if self.closed else "open"
+        return f"ParallelSketcher({self.workers} workers, {state})"

@@ -85,6 +85,76 @@ class TestCliBuild:
             main(args)
 
 
+class TestCliAdd:
+    def _extra_world(self, tmp_path, taxonomy, taxa, genomes):
+        """A new genome file + mapping entry to add to a built db."""
+        extra = GenomeSimulator(seed=99).simulate_collection(1, 1, 4000)
+        # graft the new genome onto an existing taxon so the saved
+        # taxonomy still resolves it
+        path = tmp_path / "extra.fasta"
+        write_fasta(extra[0].to_fasta_records(), path)
+        mapping = tmp_path / "extra.tsv"
+        mapping.write_text(f"{extra[0].accession}\t{taxa.target_taxon[0]}\n")
+        return path, mapping
+
+    def test_add_extends_in_place(self, cli_world, tmp_path, capsys):
+        root, genomes, taxonomy, taxa, *_ = cli_world
+        main(_build_args(cli_world, "db_add"))
+        before = (root / "db_add" / "database.meta").read_text()
+        path, mapping = self._extra_world(tmp_path, taxonomy, taxa, genomes)
+        assert (
+            main(
+                [
+                    "add",
+                    str(path),
+                    "--db", str(root / "db_add"),
+                    "--mapping", str(mapping),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "added 1 targets" in out
+        after = (root / "db_add" / "database.meta").read_text()
+        assert after != before  # the database on disk actually grew
+
+    def test_add_to_new_directory_keeps_source(self, cli_world, tmp_path, capsys):
+        root, genomes, taxonomy, taxa, *_ = cli_world
+        main(_build_args(cli_world, "db_src", ["--format", "2"]))
+        source = (root / "db_src" / "manifest.json").read_bytes()
+        path, mapping = self._extra_world(tmp_path, taxonomy, taxa, genomes)
+        assert (
+            main(
+                [
+                    "add",
+                    str(path),
+                    "--db", str(root / "db_src"),
+                    "--mapping", str(mapping),
+                    "--out", str(tmp_path / "db_dst"),
+                ]
+            )
+            == 0
+        )
+        # source untouched; destination kept the source's v2 format
+        assert (root / "db_src" / "manifest.json").read_bytes() == source
+        assert (tmp_path / "db_dst" / "manifest.json").exists()
+
+    def test_add_missing_mapping_entry(self, cli_world, tmp_path):
+        root, genomes, taxonomy, taxa, *_ = cli_world
+        main(_build_args(cli_world, "db_badadd"))
+        path, mapping = self._extra_world(tmp_path, taxonomy, taxa, genomes)
+        mapping.write_text("WRONG\t1\n")
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "add",
+                    str(path),
+                    "--db", str(root / "db_badadd"),
+                    "--mapping", str(mapping),
+                ]
+            )
+
+
 class TestCliQuery:
     def test_query_writes_tsv(self, cli_world, capsys, tmp_path):
         root, _, _, _, _, _, _, reads_path = cli_world

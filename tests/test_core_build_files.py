@@ -1,9 +1,16 @@
-"""Tests for the file-based (pipelined) build path."""
+"""Tests for the file-based (pipelined) build path.
+
+``build_from_fasta`` is a deprecated shim over
+:class:`repro.core.builder.DatabaseBuilder`; these tests keep gating
+it (results must stay identical to the pre-builder behavior), so the
+expected ``DeprecationWarning`` is filtered at the class level.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.build import accession_of, build_from_fasta
+from repro.errors import BuildError
 from repro.core.classify import classify_reads
 from repro.core.config import MetaCacheParams
 from repro.core.database import Database
@@ -30,6 +37,7 @@ class TestAccessionOf:
         assert accession_of("") == ""
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestBuildFromFasta:
     @pytest.fixture()
     def world(self, tmp_path):
@@ -85,5 +93,14 @@ class TestBuildFromFasta:
     def test_missing_accession_raises(self, world):
         _, taxonomy, _, paths, acc2tax = world
         bad = dict(list(acc2tax.items())[1:])  # drop one mapping
-        with pytest.raises(KeyError):
+        # BuildError derives from KeyError, so pre-builder call sites
+        # catching KeyError keep working
+        with pytest.raises(KeyError) as exc_info:
             build_from_fasta(paths, taxonomy, bad, params=PARAMS)
+        assert isinstance(exc_info.value, BuildError)
+        assert exc_info.value.file is not None
+
+    def test_deprecation_warning_emitted(self, world):
+        _, taxonomy, _, paths, acc2tax = world
+        with pytest.warns(DeprecationWarning, match="DatabaseBuilder"):
+            build_from_fasta(paths, taxonomy, acc2tax, params=PARAMS)

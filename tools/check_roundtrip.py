@@ -9,10 +9,16 @@ simulated read file through the public API under four configurations:
 - v2 directory, eager load;
 - v2 directory, ``mmap=True`` (zero-rebuild, page-cache-backed);
 - v2 directory, ``mmap=True`` + ``workers=2`` (worker processes
-  attach the same files via :class:`FileBackedDatabaseHandle`).
+  attach the same files via :class:`FileBackedDatabaseHandle`);
+- v2 directory produced by the *extend* path: a database built from
+  the first half of the references, saved, reopened, grown with
+  ``MetaCache.extend`` (the ``metacache-repro add`` path) and
+  re-saved -- gating that add-targets round-trips end to end.
 
-The four TSV outputs must match byte for byte.  Exit status 0 when
-they do, 1 (with a diff summary) when any diverges.
+All TSV outputs must match byte for byte, and the extended v2
+directory must be **file-for-file byte-identical** to the one-shot v2
+directory.  Exit status 0 when they do, 1 (with a diff summary) when
+any diverges.
 
 Usage:
 
@@ -53,6 +59,37 @@ def main() -> int:
         save_database(db, v1_dir)
         convert_database(v1_dir, v2_dir)  # the upgrade path under test
 
+        # the extend path: half the references, saved, reopened, grown
+        # to the full set through MetaCache.extend, re-saved as v2
+        half = len(refset.references) // 2
+        db_half = Database.build(
+            refset.references[:half], refset.taxonomy, n_partitions=2
+        )
+        half_dir, ext_dir = tmp / "v2half", tmp / "v2ext"
+        save_database(db_half, half_dir, format=2)
+        with MetaCache.open(half_dir) as mc:
+            mc.extend(references=refset.references[half:])
+            mc.save(ext_dir, format=2)
+
+        one_shot = {p.name: p.read_bytes() for p in v2_dir.iterdir()}
+        extended = {p.name: p.read_bytes() for p in ext_dir.iterdir()}
+        mismatched_files = sorted(set(one_shot) ^ set(extended)) + sorted(
+            name
+            for name in one_shot
+            if name in extended and one_shot[name] != extended[name]
+        )
+        if mismatched_files:
+            print(
+                "FAIL: extended v2 directory diverges from one-shot v2 in "
+                + ", ".join(mismatched_files),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"extend: {len(list(ext_dir.iterdir()))} files byte-identical "
+            "to the one-shot v2 directory"
+        )
+
         read_file = tmp / "reads.fastq"
         write_fastq(
             [
@@ -67,6 +104,7 @@ def main() -> int:
             "v2": (v2_dir, {}),
             "v2+mmap": (v2_dir, {"mmap": True}),
             "v2+mmap+workers=2": (v2_dir, {"mmap": True, "workers": 2}),
+            "v2-extended": (ext_dir, {}),
         }
         outputs = {
             name: _classify(db_dir, read_file, tmp / f"{name}.tsv", **kwargs)
