@@ -31,6 +31,10 @@ Exports fall into four groups:
   :class:`MetaCacheParams` / :class:`ClassificationParams` /
   :class:`SketchParams`, and curated analysis helpers (accuracy,
   abundance, mapping refinement, partition-run merging).
+
+The HTTP serving layer (``MetaCache.serve`` / ``metacache-repro
+serve``) lives in :mod:`repro.server` and consumes this facade like
+any other client.
 """
 
 from repro.api.errors import (
@@ -39,7 +43,9 @@ from repro.api.errors import (
     InvalidMappingError,
     InvalidReadError,
     MetaCacheError,
+    OverloadedError,
     PipelineError,
+    ServerError,
     SharedMemoryUnavailableError,
     UnknownFormatError,
     WorkerCrashError,
@@ -140,6 +146,8 @@ __all__ = [
     "PipelineError",
     "WorkerCrashError",
     "SharedMemoryUnavailableError",
+    "ServerError",
+    "OverloadedError",
     # multi-process engine
     "ParallelClassifier",
     "ParallelSketcher",

@@ -11,7 +11,9 @@ from repro.errors import (
     InvalidMappingError,
     InvalidReadError,
     MetaCacheError,
+    OverloadedError,
     PipelineError,
+    ServerError,
     SharedMemoryUnavailableError,
     UnknownFormatError,
     WorkerCrashError,
@@ -27,4 +29,6 @@ __all__ = [
     "PipelineError",
     "WorkerCrashError",
     "SharedMemoryUnavailableError",
+    "ServerError",
+    "OverloadedError",
 ]

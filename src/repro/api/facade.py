@@ -13,10 +13,12 @@ streams additional references into the existing index through
 add`` subcommand), producing the same bytes a from-scratch build of
 the full collection would.
 
-Everything downstream (the CLI, the examples, future serving layers)
-talks to this facade and the :class:`~repro.api.session.QuerySession`
-it hands out, so sharding / async serving / caching can be added
-behind this surface without breaking callers.
+Everything downstream (the CLI, the examples, the classification
+server) talks to this facade and the
+:class:`~repro.api.session.QuerySession` it hands out, so sharding /
+caching can be added behind this surface without breaking callers;
+:meth:`MetaCache.serve` exposes the whole thing over HTTP through
+the micro-batching server in :mod:`repro.server`.
 """
 
 from __future__ import annotations
@@ -404,6 +406,75 @@ class MetaCache:
         if self._default_session is None:
             self._default_session = self.session()
         return self._default_session.classify(reads, mates, **kwargs)
+
+    # ----------------------------------------------------------------- serve
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        workers: int | None = None,
+        params: ClassificationParams | None = None,
+        max_batch_reads: int = 4096,
+        max_delay_ms: float = 2.0,
+        max_queued_reads: int = 65536,
+        block: bool = True,
+        on_started=None,
+    ):
+        """Serve classification over HTTP from this warm database.
+
+        Starts the micro-batching server of :mod:`repro.server` on a
+        dedicated session: concurrent ``POST /classify`` requests are
+        coalesced into batches of up to ``max_batch_reads`` reads
+        (waiting at most ``max_delay_ms`` for traffic), classified on
+        the warm index -- across ``workers`` processes when > 1 --
+        and demultiplexed back to the callers; ``GET /healthz`` and
+        ``GET /stats`` expose liveness and the latency/batch-shape
+        counters.  The admission queue is bounded by
+        ``max_queued_reads``; beyond it requests are answered 503
+        with ``Retry-After``.
+
+        With ``block=True`` (default) this runs the event loop on the
+        calling thread until SIGINT/SIGTERM, then drains in-flight
+        requests and returns -- the ``metacache-repro serve``
+        subcommand is exactly this call.  With ``block=False`` it
+        returns a started :class:`repro.server.ServerThread` (bound
+        port in ``thread.server.port``); ``thread.stop()`` drains,
+        shuts the server down, and closes the dedicated session (so
+        a ``workers=N`` pool does not outlive the server).
+
+        ``on_started`` (optional callable receiving the
+        :class:`~repro.server.ClassificationServer`) fires once the
+        socket is bound -- with ``port=0`` that is when the real
+        port becomes known.
+        """
+        from repro.server import ClassificationServer, ServerThread
+
+        session = self.session(params, workers=workers)
+        server = ClassificationServer(
+            session,
+            host=host,
+            port=port,
+            max_batch_reads=max_batch_reads,
+            max_delay_ms=max_delay_ms,
+            max_queued_reads=max_queued_reads,
+        )
+        if not block:
+            thread = ServerThread(server, on_stop=session.close)
+            try:
+                thread.start()
+            except BaseException:
+                session.close()
+                raise
+            if on_started is not None:
+                on_started(server)
+            return thread
+        try:
+            server.run(on_started=on_started)
+        finally:
+            session.close()
+        return None
 
     # ------------------------------------------------------------ persistence
 

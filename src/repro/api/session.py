@@ -217,6 +217,57 @@ class QuerySession:
         self._account(report)
         return ClassificationRun(records, report, cls, result)
 
+    def classify_batch(
+        self,
+        headers: list[str],
+        sequences: list[np.ndarray],
+        *,
+        params: ClassificationParams | None = None,
+    ) -> list[ReadClassification]:
+        """Classify one pre-encoded batch into typed records.
+
+        The serving hot path: the classification server's
+        micro-batcher hands coalesced request batches here.  With the
+        session's ``workers > 1`` the batch is split into up to
+        ``workers`` contiguous sub-chunks and streamed through the
+        shared-memory worker pool (:mod:`repro.parallel`), then
+        reassembled in order -- records are identical to the
+        single-process path, which the differential server test
+        asserts byte-for-byte.  With ``workers == 1`` (or when the
+        pool is unavailable and the session degrades) it is exactly
+        :meth:`classify` minus the run wrapper.
+
+        ``headers`` and ``sequences`` must be parallel lists with the
+        sequences already encoded (uint8 code arrays); mismatched
+        lengths raise :class:`repro.errors.InvalidReadError`.
+        """
+        if len(headers) != len(sequences):
+            raise InvalidReadError(
+                f"classify_batch: {len(headers)} headers for "
+                f"{len(sequences)} sequences"
+            )
+        n = len(sequences)
+        engine = None
+        if n and self.workers > 1:
+            engine = self._ensure_engine(self.workers)
+        if engine is None:
+            run = self.classify(
+                list(zip(headers, sequences)), params=params
+            )
+            return run.records
+        cp = params or self.params
+        per_chunk = -(-n // engine.workers)  # ceil division
+        chunks = (
+            (headers[i : i + per_chunk], sequences[i : i + per_chunk])
+            for i in range(0, n, per_chunk)
+        )
+        records: list[ReadClassification] = []
+        for chunk in engine.classify_chunks(chunks, params=cp):
+            recs, report = self._chunk_records(chunk)
+            records.extend(recs)
+            self._account(report)
+        return records
+
     # ------------------------------------------------------------ streaming
 
     def classify_iter(
@@ -470,16 +521,13 @@ class QuerySession:
         _, mate_seqs = _coerce_batch(mates, 0)
         return (headers, seqs, mate_seqs)
 
-    def _chunk_to_report(
-        self, chunk: ChunkResult, cp: ClassificationParams, sink: Sink | None
-    ) -> RunReport:
-        """Emit one chunk's records and build its per-batch report."""
+    def _chunk_records(
+        self, chunk: ChunkResult
+    ) -> tuple[list[ReadClassification], RunReport]:
+        """Resolve one engine chunk into typed records + its batch report."""
         records = records_from_classification(
             self.database, chunk.headers, chunk.classification, chunk.read_lengths
         )
-        if sink is not None:
-            for rec in records:
-                sink.write(rec)
         report = RunReport(
             n_batches=1,
             max_batch_reads=chunk.n_reads,
@@ -491,6 +539,16 @@ class QuerySession:
         cls = chunk.classification
         for t in cls.taxon[cls.classified_mask].tolist():
             report.taxon_counts[int(t)] = report.taxon_counts.get(int(t), 0) + 1
+        return records, report
+
+    def _chunk_to_report(
+        self, chunk: ChunkResult, cp: ClassificationParams, sink: Sink | None
+    ) -> RunReport:
+        """Emit one chunk's records and build its per-batch report."""
+        records, report = self._chunk_records(chunk)
+        if sink is not None:
+            for rec in records:
+                sink.write(rec)
         return report
 
     def _effective_workers(self, workers: int | None, node) -> int:

@@ -14,6 +14,10 @@ Subcommands:
   registered sink format, optional abundance table (Section 4.2);
   ``--workers N`` fans classification out over N processes sharing
   the loaded database zero-copy (byte-identical output).
+- ``serve``   -- long-lived HTTP service over a warm database:
+  concurrent ``POST /classify`` requests are micro-batched through
+  one hot index (``--workers N`` fans batches over N processes),
+  with ``/healthz`` and ``/stats`` for operations.
 - ``info``    -- database summary (targets, windows, sizes).
 - ``merge``   -- combine per-partition candidate runs (Section 4.3).
 - ``convert`` -- rewrite a saved database between on-disk formats;
@@ -134,6 +138,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    mc = MetaCache.open(args.db, workers=args.workers, mmap=args.mmap)
+
+    # printed only after bind, so `--port 0` reports the real port
+    def banner(server):
+        print(
+            f"serving {mc.n_targets} targets on "
+            f"http://{server.host}:{server.port} "
+            f"(workers={args.workers}, "
+            f"max_batch_reads={args.max_batch_reads}, "
+            f"max_delay_ms={args.max_delay_ms:g}); Ctrl-C to drain and stop",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        mc.serve(
+            args.host,
+            args.port,
+            max_batch_reads=args.max_batch_reads,
+            max_delay_ms=args.max_delay_ms,
+            max_queued_reads=args.max_queued_reads,
+            on_started=banner,
+        )
+    finally:
+        mc.close()
+    print("server stopped (in-flight requests drained)", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     info = MetaCache.open(args.db).info()
     print(f"database: {args.db}")
@@ -238,6 +272,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LCA trigger fraction (default: database setting)")
     q.add_argument("--abundance", help="also print abundances at this rank")
     q.set_defaults(func=_cmd_query)
+
+    s = sub.add_parser(
+        "serve", help="serve classification over HTTP from a warm database"
+    )
+    s.add_argument("--db", required=True, help="database directory")
+    s.add_argument("--host", default="127.0.0.1", help="bind address")
+    s.add_argument("--port", type=int, default=8765,
+                   help="bind port (0 picks a free port)")
+    s.add_argument("--workers", type=int, default=1,
+                   help="classification worker processes sharing the "
+                        "database zero-copy (default 1 = in-process)")
+    s.add_argument("--mmap", action="store_true",
+                   help="memory-map a format-v2 database (near-instant "
+                        "start, index shared through the page cache)")
+    s.add_argument("--max-batch-reads", type=int, default=4096,
+                   help="reads per coalesced classification batch")
+    s.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="max milliseconds a request waits to be coalesced")
+    s.add_argument("--max-queued-reads", type=int, default=65536,
+                   help="admission bound; beyond it requests get 503 + "
+                        "Retry-After")
+    s.set_defaults(func=_cmd_serve)
 
     i = sub.add_parser("info", help="print database summary")
     i.add_argument("--db", required=True)

@@ -24,6 +24,8 @@ __all__ = [
     "PipelineError",
     "WorkerCrashError",
     "SharedMemoryUnavailableError",
+    "ServerError",
+    "OverloadedError",
 ]
 
 
@@ -116,3 +118,36 @@ class SharedMemoryUnavailableError(MetaCacheError, RuntimeError):
     permission).  Callers that can degrade — the query engine — catch
     it and fall back to single-process classification instead.
     """
+
+
+class ServerError(MetaCacheError, RuntimeError):
+    """A request cannot be served by the classification server.
+
+    Base class of every serving-layer failure that is the *request's*
+    (or the server state's) fault rather than a bug: submitting to a
+    server that is shutting down, exceeding the request-body bound,
+    and the admission-control rejections below.  The HTTP layer maps
+    these onto 4xx/5xx responses; in-process callers of
+    :class:`repro.server.MicroBatcher` catch them directly.
+    """
+
+
+class OverloadedError(ServerError):
+    """The server's bounded admission queue is full.
+
+    Raised by :meth:`repro.server.MicroBatcher.submit` when accepting
+    the request would push the queued-read count past the configured
+    bound.  The HTTP layer answers 503 with a ``Retry-After`` header
+    taken from :attr:`retry_after_seconds`; clients should back off
+    and retry rather than treat this as a hard failure.
+
+    Attributes
+    ----------
+    retry_after_seconds:
+        suggested client back-off, derived from the server's batch
+        delay (always >= 1 second so the header stays integral).
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = max(1, int(retry_after_seconds))

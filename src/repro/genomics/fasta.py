@@ -14,6 +14,8 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.errors import InvalidReadError
+
 __all__ = ["FastaRecord", "read_fasta", "write_fasta"]
 
 
@@ -39,8 +41,10 @@ def read_fasta(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastaRecor
     """Yield records from a FASTA file path or open text handle.
 
     Tolerates leading blank lines, Windows line endings and missing
-    trailing newline.  Raises ``ValueError`` on sequence data before
-    the first header.
+    trailing newline.  Raises
+    :class:`repro.errors.InvalidReadError` (a ``ValueError``
+    subclass, so old ``except ValueError`` call sites keep working)
+    on sequence data before the first header.
     """
     own = False
     if isinstance(source, (str, os.PathLike)):
@@ -62,7 +66,9 @@ def read_fasta(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastaRecor
                 chunks = []
             else:
                 if header is None:
-                    raise ValueError("FASTA sequence data before first header")
+                    raise InvalidReadError(
+                        "FASTA sequence data before first header"
+                    )
                 chunks.append(line.strip())
         if header is not None:
             yield FastaRecord(header, "".join(chunks))

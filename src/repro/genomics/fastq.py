@@ -13,6 +13,8 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.errors import InvalidReadError
+
 __all__ = ["FastqRecord", "read_fastq", "write_fastq"]
 
 
@@ -35,8 +37,10 @@ class FastqRecord:
 def read_fastq(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastqRecord]:
     """Yield records from a FASTQ path or open handle.
 
-    Strict 4-line format; raises ``ValueError`` on malformed records
-    (wrong sigil or truncated final record).
+    Strict 4-line format; raises
+    :class:`repro.errors.InvalidReadError` (a ``ValueError``
+    subclass, so old ``except ValueError`` call sites keep working)
+    on malformed records (wrong sigil or truncated final record).
     """
     own = False
     if isinstance(source, (str, os.PathLike)):
@@ -53,14 +57,20 @@ def read_fastq(source: str | os.PathLike | io.TextIOBase) -> Iterator[FastqRecor
             if not head:
                 continue
             if not head.startswith("@"):
-                raise ValueError(f"expected '@' header, got: {head[:40]!r}")
+                raise InvalidReadError(
+                    f"expected '@' header, got: {head[:40]!r}"
+                )
             seq = handle.readline().rstrip("\r\n")
             plus = handle.readline().rstrip("\r\n")
             qual = handle.readline().rstrip("\r\n")
             if not plus.startswith("+"):
-                raise ValueError(f"expected '+' separator, got: {plus[:40]!r}")
+                raise InvalidReadError(
+                    f"expected '+' separator, got: {plus[:40]!r}"
+                )
             if len(qual) != len(seq):
-                raise ValueError(f"truncated FASTQ record: {head[:40]!r}")
+                raise InvalidReadError(
+                    f"truncated FASTQ record: {head[:40]!r}"
+                )
             yield FastqRecord(head[1:].strip(), seq, qual)
     finally:
         if own:

@@ -1,11 +1,23 @@
 """Format-sniffing sequence input: FASTA or FASTQ, plain or gzip'd.
 
-The CLI and the :mod:`repro.api` facade both accept "a file of reads"
-without asking the caller to name the format.  This module owns that
-sniffing: the container (gzip magic bytes) and the record format
-(``>`` vs ``@`` sigil) are detected from the file content, empty
-files yield zero reads, and anything else raises
-:class:`repro.errors.InvalidReadError`.
+The CLI, the :mod:`repro.api` facade, and the classification server
+all accept "some reads" without asking the caller to name the format.
+This module owns that sniffing: the container (gzip magic bytes) and
+the record format (``>`` vs ``@`` sigil) are detected from the
+content itself, empty input yields zero reads, and *any* malformed
+input -- wrong sigil, truncated gzip member, non-ASCII bytes,
+truncated final FASTQ record -- raises
+:class:`repro.errors.InvalidReadError`, never a bare ``EOFError`` /
+``UnicodeDecodeError`` / ``zlib.error``.  Servers and pipelines can
+therefore wrap ingest in a single ``except MetaCacheError``.
+
+Two entry points share the machinery:
+
+- :func:`iter_sequence_records` streams from a file path (the query
+  pipeline's producer uses this; multi-gigabyte files never need to
+  fit in memory);
+- :func:`iter_sequence_records_bytes` parses an in-memory buffer
+  (the server's ``POST /classify`` request bodies).
 """
 
 from __future__ import annotations
@@ -13,6 +25,8 @@ from __future__ import annotations
 import gzip
 import io
 import os
+import zlib
+from contextlib import contextmanager
 from typing import Iterator
 
 import numpy as np
@@ -22,9 +36,43 @@ from repro.genomics.alphabet import encode_sequence
 from repro.genomics.fasta import read_fasta
 from repro.genomics.fastq import read_fastq
 
-__all__ = ["open_sequence_file", "iter_sequence_records", "read_sequences"]
+__all__ = [
+    "open_sequence_file",
+    "iter_sequence_records",
+    "iter_sequence_records_bytes",
+    "read_sequences",
+]
 
 _GZIP_MAGIC = b"\x1f\x8b"
+
+
+@contextmanager
+def _translate_parse_errors(name: str):
+    """Turn raw parser/decompressor failures into ``InvalidReadError``.
+
+    The FASTA/FASTQ parsers already raise the typed error; this guard
+    catches what they cannot see -- a gzip member cut short
+    (``EOFError``), corrupt deflate data (``zlib.error`` /
+    ``gzip.BadGzipFile``), bytes outside ASCII
+    (``UnicodeDecodeError``) -- and re-raises each as
+    ``InvalidReadError`` naming the input.  ``FileNotFoundError`` and
+    other genuine I/O errors pass through untouched: a missing file
+    is an environment problem, not malformed read data.
+    """
+    try:
+        yield
+    except InvalidReadError:
+        raise
+    except (EOFError, gzip.BadGzipFile, zlib.error) as exc:
+        raise InvalidReadError(
+            f"{name}: corrupt or truncated gzip data ({exc})"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise InvalidReadError(
+            f"{name}: not a text sequence file ({exc})"
+        ) from exc
+    except ValueError as exc:
+        raise InvalidReadError(f"{name}: {exc}") from exc
 
 
 def open_sequence_file(path: str | os.PathLike) -> io.TextIOBase:
@@ -40,6 +88,37 @@ def open_sequence_file(path: str | os.PathLike) -> io.TextIOBase:
     return open(path, "r", encoding="ascii")
 
 
+def _sniffed_records(
+    handle: io.TextIOBase, name: str
+) -> Iterator[tuple[str, str]]:
+    """Dispatch an open text handle to the FASTA or FASTQ parser.
+
+    The format is sniffed from the first non-blank character; empty
+    input yields nothing.  Shared by the file and in-memory entry
+    points so their accepted grammar cannot diverge.
+    """
+    # Skip blank lines only: the record parsers tolerate those too,
+    # so sniff and parse agree.  Any other leading whitespace (a
+    # line of spaces) would be rejected downstream with a confusing
+    # message, so call it out as not-a-sequence-file right here.
+    first = handle.read(1)
+    while first in ("\n", "\r"):
+        first = handle.read(1)
+    handle.seek(0)
+    if first == "":
+        return
+    if first == ">":
+        for fa in read_fasta(handle):
+            yield fa.header, fa.sequence
+    elif first == "@":
+        for fq in read_fastq(handle):
+            yield fq.header, fq.sequence
+    else:
+        raise InvalidReadError(
+            f"{name}: neither FASTA nor FASTQ (starts with {first!r})"
+        )
+
+
 def iter_sequence_records(path: str | os.PathLike) -> Iterator[tuple[str, str]]:
     """Lazily yield ``(header, sequence)`` pairs from a FASTA/FASTQ file.
 
@@ -47,31 +126,78 @@ def iter_sequence_records(path: str | os.PathLike) -> Iterator[tuple[str, str]]:
     the (decompressed) content; an empty file yields nothing.  This is
     the streaming primitive -- multi-gigabyte read files never need to
     fit in memory (the API's ``classify_iter`` batches on top of it).
+    Malformed content of any kind raises
+    :class:`repro.errors.InvalidReadError` naming the path; a missing
+    file still raises ``FileNotFoundError``.
     """
-    handle = open_sequence_file(path)
-    try:
-        # Skip blank lines only: the record parsers tolerate those too,
-        # so sniff and parse agree.  Any other leading whitespace (a
-        # line of spaces) would be rejected downstream with a confusing
-        # message, so call it out as not-a-sequence-file right here.
-        first = handle.read(1)
-        while first in ("\n", "\r"):
-            first = handle.read(1)
-        handle.seek(0)
-        if first == "":
-            return
-        if first == ">":
-            for fa in read_fasta(handle):
-                yield fa.header, fa.sequence
-        elif first == "@":
-            for fq in read_fastq(handle):
-                yield fq.header, fq.sequence
-        else:
+    with _translate_parse_errors(str(path)):
+        handle = open_sequence_file(path)
+        try:
+            yield from _sniffed_records(handle, str(path))
+        finally:
+            handle.close()
+
+
+def _bounded_gunzip(data: bytes, limit: int | None, name: str) -> bytes:
+    """Decompress gzip bytes, refusing to inflate past ``limit``.
+
+    Decompression happens in chunks through ``zlib.decompressobj`` so
+    a gzip bomb (a small compressed payload hiding a huge plaintext)
+    is rejected after at most ``limit`` bytes of output instead of
+    materializing gigabytes from one request.  Servers pass their
+    body bound here; ``limit=None`` keeps the trusting behaviour for
+    local callers.
+    """
+    if limit is None:
+        return gzip.decompress(data)
+    # wbits=47 = zlib's "gzip container, max window" mode
+    stream = zlib.decompressobj(wbits=47)
+    chunks: list[bytes] = []
+    total = 0
+    pending = data
+    while pending and not stream.eof:
+        chunk = stream.decompress(pending, max(1, limit - total + 1))
+        pending = stream.unconsumed_tail
+        total += len(chunk)
+        if total > limit:
             raise InvalidReadError(
-                f"{path}: neither FASTA nor FASTQ (starts with {first!r})"
+                f"{name}: gzip payload inflates past the {limit}-byte bound"
             )
-    finally:
-        handle.close()
+        chunks.append(chunk)
+        if not chunk and not stream.eof:
+            break  # needs more input that does not exist: truncated
+    if not stream.eof:
+        raise InvalidReadError(
+            f"{name}: corrupt or truncated gzip data "
+            "(stream ended before the end-of-stream marker)"
+        )
+    return b"".join(chunks)
+
+
+def iter_sequence_records_bytes(
+    data: bytes,
+    *,
+    name: str = "<request body>",
+    max_decompressed_bytes: int | None = None,
+) -> Iterator[tuple[str, str]]:
+    """Lazily yield ``(header, sequence)`` pairs from an in-memory buffer.
+
+    The server's ingest path: a ``POST /classify`` body arrives as
+    bytes -- FASTA or FASTQ, plain or a gzip'd payload (sniffed by
+    magic bytes, exactly like the file path).  Empty input yields
+    nothing; malformed input raises
+    :class:`repro.errors.InvalidReadError` carrying ``name``.
+
+    ``max_decompressed_bytes`` bounds how far a gzip payload may
+    inflate (untrusted input: a request-size limit alone does not
+    bound the plaintext of a compressed body); exceeding it raises
+    :class:`repro.errors.InvalidReadError`.
+    """
+    with _translate_parse_errors(name):
+        if data[:2] == _GZIP_MAGIC:
+            data = _bounded_gunzip(data, max_decompressed_bytes, name)
+        handle = io.StringIO(data.decode("ascii"))
+        yield from _sniffed_records(handle, name)
 
 
 def read_sequences(path: str | os.PathLike) -> tuple[list[str], list[np.ndarray]]:

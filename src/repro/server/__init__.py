@@ -1,0 +1,28 @@
+"""``repro.server`` -- async micro-batching classification service.
+
+The serving layer above :mod:`repro.api`: a long-lived asyncio HTTP
+server that multiplexes many concurrent small classify requests over
+one warm database.  The interesting part is
+:class:`~repro.server.batcher.MicroBatcher`, which coalesces request
+traffic into bounded classification batches (the paper's batching
+insight applied to serving); :class:`ClassificationServer` is the
+HTTP skin, :class:`ServerThread` the in-process harness tests and
+benchmarks drive, and :class:`~repro.server.stats.ServerStats` what
+``GET /stats`` reports.
+
+Entry points: ``metacache-repro serve`` on the command line,
+:meth:`repro.api.MetaCache.serve` from code.
+"""
+
+from repro.server.app import ClassificationServer, ServerThread
+from repro.server.batcher import MicroBatcher
+from repro.server.stats import BatchSizeHistogram, LatencyWindow, ServerStats
+
+__all__ = [
+    "ClassificationServer",
+    "ServerThread",
+    "MicroBatcher",
+    "ServerStats",
+    "LatencyWindow",
+    "BatchSizeHistogram",
+]

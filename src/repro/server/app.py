@@ -1,0 +1,505 @@
+"""The classification server: HTTP endpoints over the micro-batcher.
+
+Request flow (the serving analogue of the paper's build/query
+pipelines)::
+
+    client --> POST /classify --> parse body --> MicroBatcher.submit
+                                                     |  coalesce
+                                                     v
+                                        QuerySession.classify_batch
+                                         (workers=N: process pool)
+                                                     |  demux
+    client <-- TSV/JSONL/Kraken body <-- sink <------+
+
+Endpoints:
+
+- ``POST /classify`` -- reads as a FASTA/FASTQ body (plain or gzip)
+  or JSON ``{"reads": [...]}``; per-read results in any registered
+  sink format (``?format=tsv|jsonl|kraken``, TSV default);
+- ``GET /healthz``   -- liveness + queue depth;
+- ``GET /stats``     -- reads served, latency p50/p99, batch-size
+  histogram, database and batching configuration.
+
+Overload answers 503 with ``Retry-After`` (the admission queue is
+bounded); shutdown first stops accepting connections, then drains
+every admitted request through the batcher before returning, so no
+accepted work is dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import io
+import threading
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.sinks import open_sink, sink_formats
+from repro.errors import (
+    InvalidReadError,
+    MetaCacheError,
+    OverloadedError,
+    PipelineError,
+    ServerError,
+)
+from repro.genomics.alphabet import encode_sequence
+from repro.genomics.io import iter_sequence_records_bytes
+from repro.pipeline.batch import SequenceBatch
+from repro.server.batcher import MicroBatcher
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    write_response,
+)
+from repro.server.stats import ServerStats
+
+if TYPE_CHECKING:
+    from repro.api.session import QuerySession
+
+__all__ = ["ClassificationServer", "ServerThread"]
+
+_CONTENT_TYPES = {
+    "tsv": "text/tab-separated-values",
+    "jsonl": "application/x-ndjson",
+    "kraken": "text/plain",
+}
+
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Connection:
+    """Book-keeping for one open client connection."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False  # True while a request is being served
+
+
+class ClassificationServer:
+    """Async HTTP server multiplexing requests over one warm session.
+
+    Parameters
+    ----------
+    session:
+        the warm :class:`~repro.api.session.QuerySession` all traffic
+        classifies through.  The server does *not* close it -- the
+        caller that opened the database owns its lifetime
+        (:meth:`repro.api.MetaCache.serve` wraps both).
+    host / port:
+        bind address; port 0 picks a free port (read :attr:`port`
+        after :meth:`start`).
+    max_batch_reads / max_delay_ms / max_queued_reads:
+        micro-batching knobs, passed to
+        :class:`~repro.server.batcher.MicroBatcher`.
+    max_body_bytes:
+        request-body bound; larger uploads answer 413.
+
+    Use :meth:`start` / :meth:`stop` on an event loop you own (the
+    test and benchmark harness :class:`ServerThread` does this on a
+    background thread), or the blocking :meth:`run` from a CLI.
+    """
+
+    def __init__(
+        self,
+        session: "QuerySession",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        max_batch_reads: int = 4096,
+        max_delay_ms: float = 2.0,
+        max_queued_reads: int = 65536,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.stats = ServerStats()
+        self.batcher = MicroBatcher(
+            session,
+            max_batch_reads=max_batch_reads,
+            max_delay_ms=max_delay_ms,
+            max_queued_reads=max_queued_reads,
+            stats=self.stats,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[_Connection] = set()
+        self._stopping = False
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the batcher."""
+        self._stopping = False
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self, *, drain: bool = True, grace_seconds: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, then drain, then close.
+
+        Ordering matters: the listener closes first (no new work), the
+        batcher then finishes (``drain=True``) or fails
+        (``drain=False``) every admitted request, and finally open
+        connections get up to ``grace_seconds`` to flush their last
+        response before being closed forcibly.  Idle keep-alive
+        connections are closed immediately -- they hold no work.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close(drain=drain)
+        deadline = time.monotonic() + grace_seconds
+        while self._conns and time.monotonic() < deadline:
+            for conn in list(self._conns):
+                if not conn.busy:
+                    conn.writer.close()
+            if any(conn.busy for conn in self._conns):
+                await asyncio.sleep(0.02)
+            else:
+                break
+        for conn in list(self._conns):
+            conn.writer.close()
+
+    def run(self, *, on_started=None) -> None:
+        """Blocking serve loop for the CLI: run until SIGINT/SIGTERM.
+
+        Installs signal handlers where the platform allows, serves
+        until one fires (or ``KeyboardInterrupt``), then performs the
+        draining shutdown.  ``on_started`` (optional callable taking
+        this server) fires after the socket is bound -- the moment
+        :attr:`port` holds the real port when 0 was requested.
+        """
+        import signal
+
+        async def _main() -> None:
+            await self.start()
+            if on_started is not None:
+                on_started(self)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix event loop: fall back to KeyboardInterrupt
+            try:
+                await stop.wait()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            finally:
+                await self.stop(drain=True)
+
+        asyncio.run(_main())
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection (keep-alive loop)."""
+        conn = _Connection(writer)
+        self._conns.add(conn)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.max_body_bytes
+                    )
+                except HttpError as exc:
+                    conn.busy = True
+                    await write_response(
+                        writer, self._error_response(exc), keep_alive=False
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break  # peer vanished mid-request
+                if request is None:
+                    break  # clean EOF between requests
+                conn.busy = True
+                response = await self._dispatch(request)
+                keep = request.keep_alive and not self._stopping
+                try:
+                    await write_response(writer, response, keep_alive=keep)
+                except (ConnectionError, OSError):
+                    break
+                conn.busy = False
+                if not keep:
+                    break
+        finally:
+            self._conns.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # --------------------------------------------------------------- routing
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; every failure becomes a typed HTTP answer."""
+        try:
+            if request.path == "/healthz":
+                self._require_method(request, "GET")
+                return self._healthz()
+            if request.path == "/stats":
+                self._require_method(request, "GET")
+                return self._stats()
+            if request.path == "/classify":
+                self._require_method(request, "POST")
+                return await self._classify(request)
+            raise HttpError(404, f"no such endpoint: {request.path}")
+        except HttpError as exc:
+            return self._error_response(exc)
+        except OverloadedError as exc:
+            return self._error_response(
+                HttpError(
+                    503,
+                    str(exc),
+                    headers={"Retry-After": str(exc.retry_after_seconds)},
+                )
+            )
+        except ServerError as exc:
+            return self._error_response(
+                HttpError(503, str(exc), headers={"Retry-After": "1"})
+            )
+        except PipelineError as exc:
+            # classification infrastructure failed (worker crash, broken
+            # pool) -- the server's fault, not the request's, so 500; the
+            # batcher already counted the failure when it failed the entry
+            return self._error_response(
+                HttpError(500, f"{type(exc).__name__}: {exc}")
+            )
+        except MetaCacheError as exc:
+            self.stats.requests_failed += 1
+            return self._error_response(
+                HttpError(400, f"{type(exc).__name__}: {exc}")
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            return self._error_response(
+                HttpError(500, f"internal error: {type(exc).__name__}: {exc}")
+            )
+
+    @staticmethod
+    def _require_method(request: HttpRequest, method: str) -> None:
+        """405 unless the request uses the endpoint's one method."""
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} accepts {method}, not {request.method}"
+            )
+
+    @staticmethod
+    def _error_response(exc: HttpError) -> HttpResponse:
+        """Uniform JSON error body carrying the status and message."""
+        return HttpResponse.json(
+            {"error": str(exc), "status": exc.status},
+            status=exc.status,
+            headers=exc.headers,
+        )
+
+    # ------------------------------------------------------------- endpoints
+
+    def _healthz(self) -> HttpResponse:
+        """Liveness: cheap, allocation-free, never touches the index."""
+        return HttpResponse.json(
+            {
+                "status": "ok",
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+                "queued_reads": self.batcher.queued_reads,
+            }
+        )
+
+    def _stats(self) -> HttpResponse:
+        """Counters, latency quantiles, batch histogram, database info."""
+        db = self.session.database
+        info = {
+            "n_targets": db.n_targets,
+            "n_partitions": db.n_partitions,
+            "total_windows": db.total_windows,
+            "mmap": db.mmap_path is not None,
+        }
+        return HttpResponse.json(
+            {
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "workers": self.session.workers,
+                "batching": {
+                    "max_batch_reads": self.batcher.max_batch_reads,
+                    "max_delay_ms": self.batcher.max_delay * 1000.0,
+                    "max_queued_reads": self.batcher.max_queued_reads,
+                    "queued_reads": self.batcher.queued_reads,
+                },
+                "database": info,
+                "requests": self.stats.snapshot(),
+            }
+        )
+
+    async def _classify(self, request: HttpRequest) -> HttpResponse:
+        """Parse reads out of the body, batch-classify, render the sink."""
+        fmt = request.query.get("format", "tsv")
+        if fmt.lower() not in sink_formats():
+            raise HttpError(
+                400,
+                f"unknown format {fmt!r} "
+                f"(choose from {', '.join(sink_formats())})",
+            )
+        headers, sequences = self._parse_reads(request)
+        records = await self.batcher.submit(headers, sequences)
+        buffer = io.StringIO()
+        with open_sink(fmt, buffer) as sink:
+            for record in records:
+                sink.write(record)
+        return HttpResponse.text(
+            buffer.getvalue(),
+            content_type=_CONTENT_TYPES.get(fmt.lower(), "text/plain"),
+        )
+
+    def _parse_reads(
+        self, request: HttpRequest
+    ) -> tuple[list[str], list[np.ndarray]]:
+        """Accept JSON ``{"reads": [...]}`` or raw FASTA/FASTQ bytes."""
+        content_type = (
+            request.headers.get("content-type", "")
+            .split(";")[0]
+            .strip()
+            .lower()
+        )
+        if content_type == "application/json":
+            payload = request.json()
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("reads"), list
+            ):
+                raise HttpError(
+                    400, 'JSON body must be {"reads": [...]} with a list'
+                )
+            headers: list[str] = []
+            sequences: list[np.ndarray] = []
+            for i, item in enumerate(payload["reads"]):
+                if isinstance(item, str):
+                    header, seq = f"read_{i}", item
+                elif (
+                    isinstance(item, list)
+                    and len(item) == 2
+                    and all(isinstance(part, str) for part in item)
+                ):
+                    header, seq = item
+                else:
+                    raise HttpError(
+                        400,
+                        f"reads[{i}] must be a sequence string or a "
+                        "[header, sequence] pair",
+                    )
+                try:
+                    sequences.append(encode_sequence(seq))
+                except (UnicodeEncodeError, ValueError) as exc:
+                    raise InvalidReadError(
+                        f"reads[{i}]: not a nucleotide sequence ({exc})"
+                    ) from exc
+                headers.append(header)
+            return headers, sequences
+        batch = SequenceBatch.from_pairs(
+            iter_sequence_records_bytes(
+                request.body,
+                name="request body",
+                # a size-limited *compressed* body could still inflate
+                # into gigabytes; cap the plaintext at the same bound
+                max_decompressed_bytes=self.max_body_bytes,
+            )
+        )
+        return batch.headers, batch.sequences
+
+
+class ServerThread:
+    """Run a :class:`ClassificationServer` on a background event loop.
+
+    The in-process harness the differential tests and the serving
+    benchmark use: ``start()`` returns the bound ``(host, port)``
+    once the listener is up, ``stop()`` performs the draining
+    shutdown from the calling thread.  Also usable as a context
+    manager.  Not the production entry point -- that is
+    :meth:`repro.api.MetaCache.serve`, which blocks on the foreground
+    loop.
+
+    ``on_stop`` (optional zero-argument callable) runs after the
+    server has fully stopped; :meth:`repro.api.MetaCache.serve` uses
+    it to close the dedicated session it opened, so a ``workers=N``
+    pool never outlives its server.
+    """
+
+    def __init__(
+        self, server: ClassificationServer, *, on_stop=None
+    ) -> None:
+        self.server = server
+        self.on_stop = on_stop
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop thread and the server; returns (host, port)."""
+        if self._thread is not None:
+            raise ServerError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="metacache-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Drain and stop the server, then join the loop thread."""
+        if self._thread is None or self._loop is None:
+            return
+        try:
+            if self._thread.is_alive():
+                future = asyncio.run_coroutine_threadsafe(
+                    self.server.stop(drain=drain), self._loop
+                )
+                future.result(timeout=60)
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=60)
+            self._thread = None
+            self._loop = None
+        finally:
+            if self.on_stop is not None:
+                self.on_stop()
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

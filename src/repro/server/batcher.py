@@ -1,0 +1,323 @@
+"""The micro-batching scheduler: many small requests, few big batches.
+
+MetaCache-GPU's throughput comes from keeping the index hot and
+pushing *large* read batches through it; per-batch overheads
+(sketch-kernel setup, table dispatch, result assembly) amortize over
+the batch.  A serving workload naturally arrives as many *small*
+requests.  :class:`MicroBatcher` is the adapter between the two
+shapes: concurrent requests are admitted into a bounded queue,
+coalesced into classification batches of up to ``max_batch_reads``
+reads (waiting at most ``max_delay_ms`` for traffic to accumulate),
+dispatched to one warm :class:`~repro.api.session.QuerySession` --
+which fans out to worker processes when the session has
+``workers > 1`` -- and the per-read results are demultiplexed back to
+each caller in arrival order.
+
+Requests are split across batch boundaries when needed (read results
+are independent, so a request simply completes when its last slice
+does); a batch never exceeds the bound, so classification-side memory
+stays bounded no matter the traffic.
+
+Concurrency model: everything except the classification itself runs
+on the event loop (no locks); classification runs on a single
+dedicated executor thread, so the session is only ever driven by one
+thread and batches are dispatched strictly in order.  While a batch
+is classifying, newly admitted requests accumulate into the next
+batch -- under load the delay timer becomes irrelevant and the
+batcher self-paces at the classifier's throughput, which is exactly
+the producer/consumer pipelining of the paper applied to request
+traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque
+
+import collections
+import math
+
+import numpy as np
+
+from repro.api.records import ReadClassification
+from repro.api.session import QuerySession
+from repro.errors import OverloadedError, ServerError
+from repro.server.stats import ServerStats
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _PendingRequest:
+    """One submitted request while it waits for (all of) its results."""
+
+    headers: list[str]
+    sequences: list[np.ndarray]
+    future: asyncio.Future
+    arrived_at: float
+    results: list[ReadClassification | None] = field(default_factory=list)
+    taken: int = 0  # reads already placed into a dispatched batch
+    done: int = 0  # reads whose results have come back
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        self.results = [None] * len(self.sequences)
+
+    @property
+    def remaining(self) -> int:
+        """Reads not yet placed into any batch."""
+        return len(self.sequences) - self.taken
+
+
+class MicroBatcher:
+    """Coalesces concurrent classify requests into bounded batches.
+
+    Parameters
+    ----------
+    session:
+        the warm :class:`~repro.api.session.QuerySession` every batch
+        is dispatched to (its ``workers`` setting decides whether a
+        batch additionally fans out across processes).
+    max_batch_reads:
+        upper bound on reads per dispatched classification batch.
+    max_delay_ms:
+        how long a lone request waits for company before its batch is
+        dispatched anyway -- the latency cost ceiling of coalescing.
+        Under saturation the previous batch's classification time
+        hides this entirely.
+    max_queued_reads:
+        admission bound: reads allowed to sit undispatched before new
+        requests are rejected with
+        :class:`~repro.errors.OverloadedError` (a 503 upstream).  A
+        request arriving at an *empty* queue is always admitted, so
+        one oversized request cannot deadlock itself.
+    stats:
+        optional shared :class:`~repro.server.stats.ServerStats` to
+        record into (the server passes its own).
+
+    Lifecycle: :meth:`start` spins the dispatcher task up,
+    :meth:`close` drains or aborts it; both are coroutines and must
+    run on the owning event loop, as must :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        *,
+        max_batch_reads: int = 4096,
+        max_delay_ms: float = 2.0,
+        max_queued_reads: int = 65536,
+        stats: ServerStats | None = None,
+    ) -> None:
+        if max_batch_reads < 1:
+            raise ValueError("max_batch_reads must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if max_queued_reads < 1:
+            raise ValueError("max_queued_reads must be >= 1")
+        self.session = session
+        self.max_batch_reads = max_batch_reads
+        self.max_delay = max_delay_ms / 1000.0
+        self.max_queued_reads = max_queued_reads
+        self.stats = stats if stats is not None else ServerStats()
+        self._pending: Deque[_PendingRequest] = collections.deque()
+        self._queued_reads = 0
+        self._arrival = asyncio.Event()
+        self._full = asyncio.Event()
+        self._closing = False
+        self._runner: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Start the dispatcher task (idempotent)."""
+        if self._runner is not None:
+            return
+        self._closing = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="metacache-batcher"
+        )
+        self._runner = asyncio.ensure_future(self._run())
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop the dispatcher; with ``drain`` finish queued work first.
+
+        ``drain=True`` (graceful shutdown) classifies every admitted
+        request before returning, skipping the coalescing delay so the
+        tail flushes promptly.  ``drain=False`` fails queued requests
+        with :class:`~repro.errors.ServerError` immediately.  Either
+        way, new :meth:`submit` calls are rejected from the moment
+        close begins.  Idempotent.
+        """
+        self._closing = True
+        if not drain:
+            while self._pending:
+                entry = self._pending.popleft()
+                self._fail_entry(entry, ServerError("server is shutting down"))
+            self._queued_reads = 0
+        # wake the dispatcher wherever it sleeps: the arrival wait
+        # (idle) or the coalescing-delay wait (half-full batch) --
+        # draining must not sit out a multi-second max_delay.
+        self._arrival.set()
+        self._full.set()
+        if self._runner is not None:
+            await self._runner
+            self._runner = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ---------------------------------------------------------------- submit
+
+    async def submit(
+        self, headers: list[str], sequences: list[np.ndarray]
+    ) -> list[ReadClassification]:
+        """Submit one request's reads; resolves with its typed records.
+
+        Results come back in the request's own read order regardless
+        of how its reads were sliced across batches.  Raises
+        :class:`~repro.errors.OverloadedError` when the admission
+        queue is full and :class:`~repro.errors.ServerError` when the
+        batcher is shutting down (or was never started).
+        """
+        if self._closing or self._runner is None:
+            raise ServerError("server is shutting down")
+        n = len(sequences)
+        if n == 0:
+            self.stats.requests_served += 1
+            return []
+        if (
+            self._queued_reads > 0
+            and self._queued_reads + n > self.max_queued_reads
+        ):
+            self.stats.requests_rejected += 1
+            raise OverloadedError(
+                f"admission queue full ({self._queued_reads} reads queued, "
+                f"bound {self.max_queued_reads})",
+                retry_after_seconds=math.ceil(max(self.max_delay * 4, 1.0)),
+            )
+        loop = asyncio.get_running_loop()
+        entry = _PendingRequest(
+            headers=list(headers),
+            sequences=list(sequences),
+            future=loop.create_future(),
+            arrived_at=loop.time(),
+        )
+        self._pending.append(entry)
+        self._queued_reads += n
+        self._arrival.set()
+        if self._queued_reads >= self.max_batch_reads:
+            self._full.set()
+        return await entry.future
+
+    @property
+    def queued_reads(self) -> int:
+        """Reads admitted but not yet placed into a dispatched batch."""
+        return self._queued_reads
+
+    # ------------------------------------------------------------ dispatcher
+
+    async def _run(self) -> None:
+        """The dispatcher loop: wait, coalesce, classify, demultiplex."""
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._pending and not self._closing:
+                self._arrival.clear()
+                await self._arrival.wait()
+            if not self._pending:
+                return  # closing and drained
+            if (
+                not self._closing
+                and self.max_delay > 0
+                and self._queued_reads < self.max_batch_reads
+            ):
+                try:
+                    await asyncio.wait_for(self._full.wait(), self.max_delay)
+                except (TimeoutError, asyncio.TimeoutError):
+                    # asyncio.TimeoutError only aliases the builtin from
+                    # 3.11; on 3.10 (the package's floor) it is distinct
+                    pass
+            batch = self._take_batch()
+            if batch is None:
+                continue
+            headers, seqs, slices = batch
+            self.stats.batches.record(len(seqs))
+            try:
+                records = await loop.run_in_executor(
+                    self._executor,
+                    self.session.classify_batch,
+                    headers,
+                    seqs,
+                )
+            except Exception as exc:  # noqa: BLE001 - routed to the callers
+                for entry, _start, _count in slices:
+                    self._fail_entry(entry, exc)
+                continue
+            self._demux(loop, records, slices)
+
+    def _take_batch(
+        self,
+    ) -> tuple[list[str], list[np.ndarray], list] | None:
+        """Pop up to ``max_batch_reads`` reads FIFO, splitting the tail.
+
+        Returns ``(headers, sequences, slices)`` where each slice is
+        ``(entry, batch_start, count)`` for demultiplexing, or
+        ``None`` when every queued entry had already failed.
+        """
+        headers: list[str] = []
+        seqs: list[np.ndarray] = []
+        slices: list[tuple[_PendingRequest, int, int]] = []
+        budget = self.max_batch_reads
+        while self._pending and budget > 0:
+            entry = self._pending[0]
+            if entry.failed:  # failed mid-split in an earlier batch
+                self._queued_reads -= entry.remaining
+                entry.taken = len(entry.sequences)
+                self._pending.popleft()
+                continue
+            take = min(entry.remaining, budget)
+            start = entry.taken
+            headers.extend(entry.headers[start : start + take])
+            seqs.extend(entry.sequences[start : start + take])
+            slices.append((entry, start, take))
+            entry.taken += take
+            self._queued_reads -= take
+            budget -= take
+            if entry.remaining == 0:
+                self._pending.popleft()
+        if self._queued_reads < self.max_batch_reads:
+            self._full.clear()
+        return (headers, seqs, slices) if seqs else None
+
+    def _demux(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        records: list[ReadClassification],
+        slices: list[tuple[_PendingRequest, int, int]],
+    ) -> None:
+        """Scatter one batch's records back onto the requests they serve."""
+        offset = 0
+        for entry, start, count in slices:
+            entry.results[start : start + count] = records[
+                offset : offset + count
+            ]
+            entry.done += count
+            offset += count
+            if entry.done == len(entry.sequences) and not entry.failed:
+                if not entry.future.done():  # caller may have disconnected
+                    entry.future.set_result(entry.results)
+                self.stats.requests_served += 1
+                self.stats.reads_served += len(entry.sequences)
+                self.stats.latency.record(loop.time() - entry.arrived_at)
+
+    def _fail_entry(self, entry: _PendingRequest, exc: Exception) -> None:
+        """Resolve one request's future with an error (at most once)."""
+        if entry.failed:
+            return
+        entry.failed = True
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+        self.stats.requests_failed += 1

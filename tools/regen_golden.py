@@ -1,0 +1,106 @@
+"""Regenerate the golden regression fixtures under tests/data/golden/.
+
+The golden test (``tests/test_golden.py``) pins the classifier's
+end-to-end output bytes: a small committed corpus (references,
+taxonomy dumps, accession mapping, reads) plus the expected per-read
+classification TSV.  Any refactor that changes output bytes --
+hashing, sketching, candidate generation, tie-breaking, TSV
+formatting -- fails that test loudly, which is the point: byte drift
+must be a *decision*, not an accident.
+
+When a change is intentional, rerun this script and commit the
+refreshed fixtures together with the change::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+The corpus is simulated with fixed seeds, but the test itself reads
+only the committed files, so fixture stability does not depend on
+the simulator staying frozen.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import MetaCache, MetaCacheParams, SketchParams, TsvSink
+from repro.genomics.alphabet import decode_sequence
+from repro.genomics.fasta import write_fasta
+from repro.genomics.fastq import FastqRecord, write_fastq
+from repro.genomics.reads import HISEQ, ReadSimulator
+from repro.genomics.simulate import GenomeSimulator
+from repro.taxonomy.builder import build_taxonomy_for_genomes
+from repro.taxonomy.ncbi import write_ncbi_dump
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden"
+
+# Pinned small-index parameters; tests/test_golden.py must use the same.
+PARAMS = MetaCacheParams(
+    sketch=SketchParams(k=8, sketch_size=4, window_size=24)
+)
+
+N_GENOMES, N_SCAFFOLDS, GENOME_LENGTH = 3, 2, 4000
+N_READS = 32
+GENOME_SEED, READ_SEED = 97, 53
+
+
+def main() -> int:
+    """Write the corpus + expected TSV; prints each file produced."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+
+    genomes = GenomeSimulator(seed=GENOME_SEED).simulate_collection(
+        N_GENOMES, N_SCAFFOLDS, GENOME_LENGTH
+    )
+    taxonomy, taxa = build_taxonomy_for_genomes(genomes)
+
+    write_fasta(
+        [rec for g in genomes for rec in g.to_fasta_records()],
+        GOLDEN_DIR / "refs.fasta",
+    )
+    write_ncbi_dump(
+        taxonomy, GOLDEN_DIR / "nodes.dmp", GOLDEN_DIR / "names.dmp"
+    )
+    (GOLDEN_DIR / "acc2tax.tsv").write_text(
+        "".join(
+            f"{g.accession}\t{taxa.target_taxon[i]}\n"
+            for i, g in enumerate(genomes)
+        )
+    )
+
+    reads = ReadSimulator(genomes, seed=READ_SEED).simulate(HISEQ, N_READS)
+    write_fastq(
+        [
+            FastqRecord(f"read{i:03d}", decode_sequence(s), "I" * s.size)
+            for i, s in enumerate(reads.sequences)
+        ],
+        GOLDEN_DIR / "reads.fastq",
+    )
+
+    # the expected output comes from the committed files, same as the test
+    mc = MetaCache.build(
+        [GOLDEN_DIR / "refs.fasta"],
+        taxonomy=GOLDEN_DIR,
+        mapping=GOLDEN_DIR / "acc2tax.tsv",
+        params=PARAMS,
+    )
+    buffer = io.StringIO()
+    session = mc.session()
+    with TsvSink(buffer) as sink:
+        report = session.classify_files(GOLDEN_DIR / "reads.fastq", sink=sink)
+    session.close()
+    mc.close()
+    (GOLDEN_DIR / "expected.tsv").write_text(buffer.getvalue())
+
+    for name in sorted(p.name for p in GOLDEN_DIR.iterdir()):
+        print(f"wrote tests/data/golden/{name}")
+    print(
+        f"classified {report.n_classified}/{report.n_reads} golden reads"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
