@@ -150,27 +150,62 @@ def _bounded_gunzip(data: bytes, limit: int | None, name: str) -> bytes:
     """
     if limit is None:
         return gzip.decompress(data)
-    # wbits=47 = zlib's "gzip container, max window" mode
-    stream = zlib.decompressobj(wbits=47)
     chunks: list[bytes] = []
     total = 0
-    pending = data
-    while pending and not stream.eof:
-        chunk = stream.decompress(pending, max(1, limit - total + 1))
-        pending = stream.unconsumed_tail
-        total += len(chunk)
-        if total > limit:
+    view = memoryview(data)
+    n = len(data)
+    offset = 0
+    max_feed = 65536
+    # A gzip file is one or more back-to-back members (bgzip and
+    # bcl2fastq emit many; `cat a.fq.gz b.fq.gz` too), so decompress
+    # member after member -- matching gzip.decompress -- carrying the
+    # running total against the limit across all of them.  Input is
+    # fed in windows tracked by offset (handing the whole remaining
+    # buffer to the decompressor would copy it back out via
+    # unused_data at every member boundary), and each member's first
+    # window starts small and grows geometrically, so a flood of tiny
+    # members costs O(member size) each rather than a full window of
+    # copying per member.
+    while offset < n:
+        # wbits=47 = zlib's "gzip container, max window" mode
+        stream = zlib.decompressobj(wbits=47)
+        buf: bytes | memoryview = b""
+        feed = 512
+        while not stream.eof:
+            if not len(buf):
+                if offset >= n:
+                    break  # more input needed but none left: truncated
+                buf = view[offset : offset + feed]
+                offset += len(buf)
+                feed = min(feed * 2, max_feed)
+            chunk = stream.decompress(buf, max(1, limit - total + 1))
+            buf = stream.unconsumed_tail
+            total += len(chunk)
+            if total > limit:
+                raise InvalidReadError(
+                    f"{name}: gzip payload inflates past the "
+                    f"{limit}-byte bound"
+                )
+            chunks.append(chunk)
+        if not stream.eof:
             raise InvalidReadError(
-                f"{name}: gzip payload inflates past the {limit}-byte bound"
+                f"{name}: corrupt or truncated gzip data "
+                "(stream ended before the end-of-stream marker)"
             )
-        chunks.append(chunk)
-        if not chunk and not stream.eof:
-            break  # needs more input that does not exist: truncated
-    if not stream.eof:
-        raise InvalidReadError(
-            f"{name}: corrupt or truncated gzip data "
-            "(stream ended before the end-of-stream marker)"
-        )
+        offset -= len(stream.unused_data)  # unfed + unused = data[offset:]
+        # skip zero padding between and after members (the gzip
+        # module's semantics); the single-byte probe keeps the
+        # unpadded common case copy-free
+        while offset < n and data[offset] == 0:
+            window = bytes(view[offset : offset + max_feed])
+            stripped = window.lstrip(b"\x00")
+            offset += len(window) - len(stripped)
+            if stripped:
+                break
+        if offset < n and bytes(view[offset : offset + 2]) != _GZIP_MAGIC:
+            raise InvalidReadError(
+                f"{name}: trailing garbage after gzip end-of-stream marker"
+            )
     return b"".join(chunks)
 
 

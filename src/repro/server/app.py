@@ -33,6 +33,7 @@ import dataclasses
 import io
 import threading
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -70,6 +71,22 @@ _CONTENT_TYPES = {
 }
 
 DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+# bodies/results past these sizes are parsed/rendered on the default
+# executor instead of the event loop (a max-size upload takes whole
+# seconds of CPU; a lone micro-request takes microseconds and would
+# only pay for the thread handoff).  Gzip bodies always offload: a
+# tiny compressed body can inflate to max_decompressed_bytes, so its
+# wire size says nothing about the parse cost.
+_OFFLOAD_BODY_BYTES = 64 * 1024
+_OFFLOAD_RENDER_RECORDS = 1024
+_GZIP_MAGIC = b"\x1f\x8b"
+
+# at most this many offloaded body parses run at once: each can hold
+# the decompressed plaintext plus string and array copies (hundreds
+# of MiB at the default bounds), so unbounded concurrency would let a
+# handful of tiny gzip uploads pin gigabytes
+_MAX_CONCURRENT_PARSES = 2
 
 
 class _Connection:
@@ -131,12 +148,14 @@ class ClassificationServer:
         self._conns: set[_Connection] = set()
         self._stopping = False
         self._started_at = 0.0
+        self._parse_gate: asyncio.Semaphore | None = None
 
     # ------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
         """Bind the listening socket and start the batcher."""
         self._stopping = False
+        self._parse_gate = asyncio.Semaphore(_MAX_CONCURRENT_PARSES)
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -219,9 +238,14 @@ class ClassificationServer:
                     )
                 except HttpError as exc:
                     conn.busy = True
-                    await write_response(
-                        writer, self._error_response(exc), keep_alive=False
-                    )
+                    try:
+                        await write_response(
+                            writer,
+                            self._error_response(exc),
+                            keep_alive=False,
+                        )
+                    except (ConnectionError, OSError):
+                        pass  # malformed request, then peer vanished
                     break
                 except (asyncio.IncompleteReadError, ConnectionError, OSError):
                     break  # peer vanished mid-request
@@ -271,8 +295,12 @@ class ClassificationServer:
                 )
             )
         except ServerError as exc:
+            # shutdown is transient (retry elsewhere soon); a crashed
+            # dispatcher is permanent, so no Retry-After -- clients
+            # should fail over, not hammer a dead instance
+            headers = {} if self.batcher.crashed else {"Retry-After": "1"}
             return self._error_response(
-                HttpError(503, str(exc), headers={"Retry-After": "1"})
+                HttpError(503, str(exc), headers=headers)
             )
         except PipelineError as exc:
             # classification infrastructure failed (worker crash, broken
@@ -282,7 +310,11 @@ class ClassificationServer:
                 HttpError(500, f"{type(exc).__name__}: {exc}")
             )
         except MetaCacheError as exc:
-            self.stats.requests_failed += 1
+            # parse-stage errors never reach the batcher, so they are
+            # counted here; errors raised out of submit() carry the
+            # batcher's already-counted marker
+            if not getattr(exc, "batcher_counted", False):
+                self.stats.requests_failed += 1
             return self._error_response(
                 HttpError(400, f"{type(exc).__name__}: {exc}")
             )
@@ -311,15 +343,22 @@ class ClassificationServer:
     # ------------------------------------------------------------- endpoints
 
     def _healthz(self) -> HttpResponse:
-        """Liveness: cheap, allocation-free, never touches the index."""
+        """Liveness: cheap, allocation-free, never touches the index.
+
+        A crashed batch dispatcher makes every ``/classify`` a 503
+        forever, so health must go red too -- otherwise a load
+        balancer keeps routing traffic to a dead instance.
+        """
+        crashed = self.batcher.crashed
         return HttpResponse.json(
             {
-                "status": "ok",
+                "status": "failed" if crashed else "ok",
                 "uptime_seconds": round(
                     time.monotonic() - self._started_at, 3
                 ),
                 "queued_reads": self.batcher.queued_reads,
-            }
+            },
+            status=503 if crashed else 200,
         )
 
     def _stats(self) -> HttpResponse:
@@ -340,6 +379,7 @@ class ClassificationServer:
                     "max_delay_ms": self.batcher.max_delay * 1000.0,
                     "max_queued_reads": self.batcher.max_queued_reads,
                     "queued_reads": self.batcher.queued_reads,
+                    "crashed": self.batcher.crashed,
                 },
                 "database": info,
                 "requests": self.stats.snapshot(),
@@ -347,7 +387,18 @@ class ClassificationServer:
         )
 
     async def _classify(self, request: HttpRequest) -> HttpResponse:
-        """Parse reads out of the body, batch-classify, render the sink."""
+        """Parse reads out of the body, batch-classify, render the sink.
+
+        Parsing (gunzip + ASCII decode + record split + encode) and
+        sink rendering are CPU work proportional to the body size --
+        up to ``max_body_bytes`` -- so for large inputs both run on
+        the default executor, never the event loop: one big upload
+        must not stall every other connection (including
+        ``/healthz``, which load balancers probe).  Small requests
+        (the micro-batching hot path) stay inline -- two thread
+        handoffs would cost more than the microseconds of work they
+        protect against.
+        """
         fmt = request.query.get("format", "tsv")
         if fmt.lower() not in sink_formats():
             raise HttpError(
@@ -355,14 +406,32 @@ class ClassificationServer:
                 f"unknown format {fmt!r} "
                 f"(choose from {', '.join(sink_formats())})",
             )
-        headers, sequences = self._parse_reads(request)
+        loop = asyncio.get_running_loop()
+        if (
+            len(request.body) > _OFFLOAD_BODY_BYTES
+            or request.body[:2] == _GZIP_MAGIC
+        ) and self._parse_gate is not None:
+            async with self._parse_gate:
+                headers, sequences = await loop.run_in_executor(
+                    None, self._parse_reads, request
+                )
+        else:
+            headers, sequences = self._parse_reads(request)
         records = await self.batcher.submit(headers, sequences)
-        buffer = io.StringIO()
-        with open_sink(fmt, buffer) as sink:
-            for record in records:
-                sink.write(record)
+
+        def render() -> str:
+            buffer = io.StringIO()
+            with open_sink(fmt, buffer) as sink:
+                for record in records:
+                    sink.write(record)
+            return buffer.getvalue()
+
+        if len(records) > _OFFLOAD_RENDER_RECORDS:
+            body = await loop.run_in_executor(None, render)
+        else:
+            body = render()
         return HttpResponse.text(
-            buffer.getvalue(),
+            body,
             content_type=_CONTENT_TYPES.get(fmt.lower(), "text/plain"),
         )
 
@@ -480,21 +549,43 @@ class ServerThread:
             loop.close()
 
     def stop(self, *, drain: bool = True) -> None:
-        """Drain and stop the server, then join the loop thread."""
+        """Drain and stop the server, then join the loop thread.
+
+        If the drain does not finish within 60 seconds the loop is
+        stopped anyway and :class:`~repro.errors.ServerError` is
+        raised -- a leaked live loop thread would keep serving while
+        ``on_stop`` closes the session underneath it.  ``on_stop`` is
+        deliberately *skipped* on that timeout path: the batcher's
+        executor thread may still be inside ``classify_batch``, and
+        closing the session (shared memory, worker pool) under a live
+        classification is worse than leaking it during what is
+        already an abnormal shutdown.
+        """
         if self._thread is None or self._loop is None:
             return
+        timed_out = False
         try:
             if self._thread.is_alive():
                 future = asyncio.run_coroutine_threadsafe(
                     self.server.stop(drain=drain), self._loop
                 )
-                future.result(timeout=60)
-                self._loop.call_soon_threadsafe(self._loop.stop)
+                try:
+                    future.result(timeout=60)
+                except FuturesTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                finally:
+                    # runs even on timeout: the loop must stop either way
+                    self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=60)
             self._thread = None
             self._loop = None
+            if timed_out:
+                raise ServerError(
+                    "shutdown drain did not finish within 60 seconds"
+                )
         finally:
-            if self.on_stop is not None:
+            if self.on_stop is not None and not timed_out:
                 self.on_stop()
 
     def __enter__(self) -> "ServerThread":

@@ -61,6 +61,7 @@ class _PendingRequest:
     taken: int = 0  # reads already placed into a dispatched batch
     done: int = 0  # reads whose results have come back
     failed: bool = False
+    served: bool = False  # counted into requests_served already
 
     def __post_init__(self) -> None:
         self.results = [None] * len(self.sequences)
@@ -127,6 +128,7 @@ class MicroBatcher:
         self._arrival = asyncio.Event()
         self._full = asyncio.Event()
         self._closing = False
+        self._crash: Exception | None = None
         self._runner: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
 
@@ -137,6 +139,7 @@ class MicroBatcher:
         if self._runner is not None:
             return
         self._closing = False
+        self._crash = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="metacache-batcher"
         )
@@ -184,6 +187,15 @@ class MicroBatcher:
         batcher is shutting down (or was never started).
         """
         if self._closing or self._runner is None:
+            if self._crash is not None:
+                # requests hitting a crashed dispatcher count as
+                # failed (the HTTP layer's ServerError branch does
+                # not count, so this is the single count)
+                self.stats.requests_failed += 1
+                raise ServerError(
+                    "batch dispatcher failed: "
+                    f"{type(self._crash).__name__}: {self._crash}"
+                ) from self._crash
             raise ServerError("server is shutting down")
         n = len(sequences)
         if n == 0:
@@ -218,58 +230,113 @@ class MicroBatcher:
         """Reads admitted but not yet placed into a dispatched batch."""
         return self._queued_reads
 
+    @property
+    def crashed(self) -> bool:
+        """True once the dispatcher died on an unexpected exception.
+
+        A crashed batcher rejects every submit; ``/healthz`` reports
+        it so orchestrators take the instance out of rotation.
+        """
+        return self._crash is not None
+
     # ------------------------------------------------------------ dispatcher
 
     async def _run(self) -> None:
-        """The dispatcher loop: wait, coalesce, classify, demultiplex."""
+        """The dispatcher loop: wait, coalesce, classify, demultiplex.
+
+        The loop body as a whole is guarded: a bug anywhere in batch
+        assembly, stats recording, or demultiplexing must not kill
+        the dispatcher task silently -- that would leave every
+        pending and future caller hanging.  Instead the batcher fails
+        all queued requests, refuses new ones, and surfaces the cause
+        on subsequent :meth:`submit` calls.
+        """
         loop = asyncio.get_running_loop()
-        while True:
-            while not self._pending and not self._closing:
-                self._arrival.clear()
-                await self._arrival.wait()
-            if not self._pending:
-                return  # closing and drained
-            if (
-                not self._closing
-                and self.max_delay > 0
-                and self._queued_reads < self.max_batch_reads
-            ):
+        # the slices of the batch currently being processed: their
+        # entries are already popped from _pending, so the crash
+        # handler must fail them explicitly
+        inflight: list[tuple[_PendingRequest, int, int]] = []
+        try:
+            while True:
+                while not self._pending and not self._closing:
+                    self._arrival.clear()
+                    await self._arrival.wait()
+                if not self._pending:
+                    return  # closing and drained
+                if (
+                    not self._closing
+                    and self.max_delay > 0
+                    and self._queued_reads < self.max_batch_reads
+                ):
+                    try:
+                        await asyncio.wait_for(
+                            self._full.wait(), self.max_delay
+                        )
+                    except (TimeoutError, asyncio.TimeoutError):
+                        # asyncio.TimeoutError only aliases the builtin
+                        # from 3.11; on 3.10 (the package's floor) it
+                        # is distinct
+                        pass
+                inflight = []
+                batch = self._take_batch(inflight)
+                if batch is None:
+                    continue
+                headers, seqs = batch
+                self.stats.batches.record(len(seqs))
                 try:
-                    await asyncio.wait_for(self._full.wait(), self.max_delay)
-                except (TimeoutError, asyncio.TimeoutError):
-                    # asyncio.TimeoutError only aliases the builtin from
-                    # 3.11; on 3.10 (the package's floor) it is distinct
-                    pass
-            batch = self._take_batch()
-            if batch is None:
-                continue
-            headers, seqs, slices = batch
-            self.stats.batches.record(len(seqs))
-            try:
-                records = await loop.run_in_executor(
-                    self._executor,
-                    self.session.classify_batch,
-                    headers,
-                    seqs,
-                )
-            except Exception as exc:  # noqa: BLE001 - routed to the callers
-                for entry, _start, _count in slices:
-                    self._fail_entry(entry, exc)
-                continue
-            self._demux(loop, records, slices)
+                    records = await loop.run_in_executor(
+                        self._executor,
+                        self.session.classify_batch,
+                        headers,
+                        seqs,
+                    )
+                except Exception as exc:  # noqa: BLE001 - to the callers
+                    for entry, _start, _count in inflight:
+                        self._fail_entry(entry, exc)
+                    inflight = []
+                    continue
+                if len(records) != len(seqs):
+                    # a short/long result would silently corrupt the
+                    # demux offsets and strand callers forever: fail
+                    # the whole batch loudly instead
+                    mismatch = ServerError(
+                        f"classifier returned {len(records)} records "
+                        f"for a batch of {len(seqs)} reads"
+                    )
+                    for entry, _start, _count in inflight:
+                        self._fail_entry(entry, mismatch)
+                    inflight = []
+                    continue
+                self._demux(loop, records, inflight)
+                inflight = []
+        except Exception as exc:  # noqa: BLE001 - dispatcher last resort
+            self._closing = True
+            self._crash = exc
+            failure = ServerError(
+                f"batch dispatcher failed: {type(exc).__name__}: {exc}"
+            )
+            failure.__cause__ = exc
+            for entry, _start, _count in inflight:
+                self._fail_entry(entry, failure)
+            while self._pending:
+                self._fail_entry(self._pending.popleft(), failure)
+            self._queued_reads = 0
 
     def _take_batch(
-        self,
-    ) -> tuple[list[str], list[np.ndarray], list] | None:
+        self, slices: list[tuple[_PendingRequest, int, int]]
+    ) -> tuple[list[str], list[np.ndarray]] | None:
         """Pop up to ``max_batch_reads`` reads FIFO, splitting the tail.
 
-        Returns ``(headers, sequences, slices)`` where each slice is
-        ``(entry, batch_start, count)`` for demultiplexing, or
-        ``None`` when every queued entry had already failed.
+        Appends ``(entry, batch_start, count)`` to the caller-owned
+        ``slices`` list *as each entry is taken* -- before any
+        allocation that could raise -- so the dispatcher's crash
+        handler always has a record of every entry this call popped
+        off the queue (an orphaned entry would hang its caller
+        forever).  Returns ``(headers, sequences)``, or ``None`` when
+        every queued entry had already failed.
         """
         headers: list[str] = []
         seqs: list[np.ndarray] = []
-        slices: list[tuple[_PendingRequest, int, int]] = []
         budget = self.max_batch_reads
         while self._pending and budget > 0:
             entry = self._pending[0]
@@ -280,9 +347,9 @@ class MicroBatcher:
                 continue
             take = min(entry.remaining, budget)
             start = entry.taken
+            slices.append((entry, start, take))
             headers.extend(entry.headers[start : start + take])
             seqs.extend(entry.sequences[start : start + take])
-            slices.append((entry, start, take))
             entry.taken += take
             self._queued_reads -= take
             budget -= take
@@ -290,7 +357,7 @@ class MicroBatcher:
                 self._pending.popleft()
         if self._queued_reads < self.max_batch_reads:
             self._full.clear()
-        return (headers, seqs, slices) if seqs else None
+        return (headers, seqs) if seqs else None
 
     def _demux(
         self,
@@ -309,15 +376,25 @@ class MicroBatcher:
             if entry.done == len(entry.sequences) and not entry.failed:
                 if not entry.future.done():  # caller may have disconnected
                     entry.future.set_result(entry.results)
+                entry.served = True
                 self.stats.requests_served += 1
                 self.stats.reads_served += len(entry.sequences)
                 self.stats.latency.record(loop.time() - entry.arrived_at)
 
     def _fail_entry(self, entry: _PendingRequest, exc: Exception) -> None:
-        """Resolve one request's future with an error (at most once)."""
-        if entry.failed:
+        """Resolve one request's future with an error (at most once).
+
+        An entry already counted as served (e.g. demultiplexed just
+        before a dispatcher crash) stays served -- failing it again
+        would double-count the request in both counters.
+        """
+        if entry.failed or entry.served:
             return
         entry.failed = True
+        # mark the exception so the HTTP layer knows this failure is
+        # already in requests_failed and does not count it again when
+        # the error propagates out of submit()
+        exc.batcher_counted = True  # type: ignore[attr-defined]
         if not entry.future.done():
             entry.future.set_exception(exc)
         self.stats.requests_failed += 1

@@ -121,7 +121,12 @@ class ServerStats:
     ``requests_served`` counts classify requests answered with
     results, ``reads_served`` the reads inside them;
     ``requests_rejected`` counts admission-control 503s and
-    ``requests_failed`` malformed-input 400s.  ``latency`` measures
+    ``requests_failed`` every request whose *reads* errored: bodies
+    rejected by the sequence parsers (typed ``MetaCacheError`` 400s),
+    classify-stage failures (worker crashes, record-count
+    mismatches), and requests arriving at a crashed dispatcher.
+    Protocol-level 4xx answers (bad JSON shape, unknown ``?format=``,
+    wrong method/path) are not counted here.  ``latency`` measures
     submit-to-response inside the batcher (queueing + classification,
     the number micro-batching trades off); ``batches`` records the
     dispatch shape.

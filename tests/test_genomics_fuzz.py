@@ -164,6 +164,58 @@ class TestDirectedCases:
                 )
             )
 
+    def test_multi_member_gzip_parses_all_members_under_bound(self):
+        # bgzip / bcl2fastq / `cat a.fq.gz b.fq.gz` emit multiple
+        # back-to-back gzip members; the bounded server path must not
+        # silently stop at the first end-of-stream marker
+        multi = gzip.compress(_base_fastq()) + gzip.compress(_base_fastq())
+        trusting = list(iter_sequence_records_bytes(multi))
+        bounded = list(
+            iter_sequence_records_bytes(multi, max_decompressed_bytes=65536)
+        )
+        assert bounded == trusting
+        assert len(bounded) == 6  # 3 FASTQ records per member
+
+    def test_gzip_bomb_split_across_members_still_rejected(self):
+        # the inflation bound applies to the total across members,
+        # not per member
+        half = gzip.compress(b">b\n" + b"A" * 40_000)
+        with pytest.raises(InvalidReadError, match="inflates past"):
+            list(
+                iter_sequence_records_bytes(
+                    half + half, max_decompressed_bytes=65536
+                )
+            )
+
+    def test_nul_padding_between_and_after_members_accepted(self):
+        # tape-block / archiver zero padding between members and after
+        # the last one is tolerated by gzip.decompress; the bounded
+        # path must agree
+        member = gzip.compress(_base_fastq())
+        for padded, records in [
+            (gzip.compress(_base_fasta()) + b"\x00" * 8, 3),
+            (member + b"\x00" * 512 + member + b"\x00" * 8, 6),
+        ]:
+            trusting = list(iter_sequence_records_bytes(padded))
+            bounded = list(
+                iter_sequence_records_bytes(
+                    padded, max_decompressed_bytes=65536
+                )
+            )
+            assert bounded == trusting
+            assert len(bounded) == records
+
+    def test_trailing_garbage_after_gzip_member_rejected(self):
+        data = gzip.compress(_base_fasta()) + b"not a gzip member"
+        with pytest.raises(InvalidReadError):
+            list(
+                iter_sequence_records_bytes(
+                    data, max_decompressed_bytes=65536
+                )
+            )
+        with pytest.raises(InvalidReadError):
+            list(iter_sequence_records_bytes(data))
+
     def test_crlf_line_endings_parse(self):
         fasta = _base_fasta().replace(b"\n", b"\r\n")
         records = list(iter_sequence_records_bytes(fasta))

@@ -289,6 +289,197 @@ class TestMicroBatcher:
         assert stats.requests_failed == 1
         assert stats.requests_served == 1
 
+    def test_record_count_mismatch_fails_loudly_and_recovers(self):
+        # a classifier returning the wrong number of records must fail
+        # the batch (never leave callers hanging on a short demux)
+        class ShortStub(StubSession):
+            def classify_batch(self, headers, sequences):
+                records = super().classify_batch(headers, sequences)
+                return records[:-1] if len(self.batch_sizes) == 1 else records
+
+        stub = ShortStub()
+
+        async def main():
+            batcher = MicroBatcher(stub, max_delay_ms=0)
+            await batcher.start()
+            with pytest.raises(ServerError, match="returned 0 records"):
+                await batcher.submit(["a"], ["x"])
+            ok = await batcher.submit(["b"], ["y"])  # dispatcher survives
+            await batcher.close()
+            return ok, batcher.stats
+
+        ok, stats = run_async(main())
+        assert ok == ["cls:b"]
+        assert stats.requests_failed == 1
+        assert stats.requests_served == 1
+
+    def test_dispatcher_crash_fails_pending_not_hangs(self):
+        # a bug outside the guarded classify call (here: stats
+        # recording) must fail queued requests and poison the batcher,
+        # not kill the dispatcher task silently while submit() keeps
+        # admitting work that can never complete
+        stub = StubSession()
+
+        async def main():
+            batcher = MicroBatcher(stub, max_delay_ms=0)
+
+            def boom(_size):
+                raise RuntimeError("injected dispatcher bug")
+
+            batcher.stats.batches.record = boom
+            await batcher.start()
+            with pytest.raises(ServerError, match="dispatcher failed"):
+                await asyncio.wait_for(batcher.submit(["a"], ["x"]), 10)
+            with pytest.raises(ServerError, match="injected dispatcher bug"):
+                await batcher.submit(["b"], ["y"])
+            await batcher.close()
+            return batcher.stats
+
+        stats = run_async(main())
+        # one entry failed by the crash, one rejected-at-crashed counted
+        assert stats.requests_failed == 2
+        assert stub.batch_sizes == []  # never reached classification
+
+    def test_crash_inside_take_batch_does_not_orphan_entries(self):
+        # entries popped off the queue before batch assembly raises
+        # must still be failed by the crash handler, never left
+        # hanging (guarded by wait_for: a hang fails the test)
+        stub = StubSession()
+
+        async def main():
+            batcher = MicroBatcher(stub, max_delay_ms=0)
+            orig = batcher._take_batch
+
+            def bad(slices):
+                orig(slices)
+                raise RuntimeError("injected batch-assembly bug")
+
+            batcher._take_batch = bad
+            await batcher.start()
+            with pytest.raises(ServerError, match="dispatcher failed"):
+                await asyncio.wait_for(batcher.submit(["a"], ["x"]), 10)
+            await batcher.close()
+            return batcher
+
+        batcher = run_async(main())
+        assert batcher.crashed
+        assert batcher.stats.requests_failed == 1
+
+    def test_crash_after_partial_demux_does_not_double_count(self):
+        # entries already served before the crash stay served; the
+        # crash handler must not also count them as failed
+        stub = StubSession()
+
+        async def main():
+            batcher = MicroBatcher(stub, max_delay_ms=50)
+            await batcher.start()
+
+            def boom(_seconds):
+                raise RuntimeError("injected latency-recording bug")
+
+            batcher.stats.latency.record = boom
+            first = asyncio.ensure_future(batcher.submit(["a"], ["x"]))
+            second = asyncio.ensure_future(batcher.submit(["b"], ["y"]))
+            results = await asyncio.gather(
+                first, second, return_exceptions=True
+            )
+            await batcher.close()
+            return results, batcher
+
+        (first, second), batcher = run_async(main())
+        assert batcher.crashed
+        # the first entry demuxed (served) before the crash; the
+        # second is failed by the crash handler
+        assert first == ["cls:a"]
+        assert isinstance(second, ServerError)
+        assert batcher.stats.requests_served == 1
+        assert batcher.stats.requests_failed == 1
+
+
+class TestFailureAccounting:
+    def test_batcher_failure_counted_once_through_dispatch(self):
+        """A classify-stage MetaCacheError is counted by the batcher
+        only; parse-stage errors (never reach the batcher) are counted
+        by the dispatch layer."""
+        from repro.errors import InvalidReadError
+        from repro.server.http import HttpRequest
+
+        class BadReadStub(StubSession):
+            def classify_batch(self, headers, sequences):
+                super().classify_batch(headers, sequences)
+                raise InvalidReadError("injected bad read in batch")
+
+        server = ClassificationServer(
+            BadReadStub(), port=0, max_delay_ms=0
+        )
+
+        def classify_request(reads):
+            return HttpRequest(
+                method="POST",
+                path="/classify",
+                query={},
+                headers={"content-type": "application/json"},
+                body=json.dumps({"reads": reads}).encode(),
+            )
+
+        async def main():
+            await server.batcher.start()
+            # classify-stage failure: batcher counts it, dispatch must not
+            first = await server._dispatch(classify_request(["ACGT"]))
+            counted_after_first = server.stats.requests_failed
+            # parse-stage failure (non-ASCII read): dispatch counts it
+            second = await server._dispatch(classify_request(["ÅCGT"]))
+            await server.batcher.close()
+            return first, counted_after_first, second
+
+        first, counted_after_first, second = run_async(main())
+        assert first.status == 400
+        assert counted_after_first == 1  # not 2 (no double count)
+        assert second.status == 400
+        assert server.stats.requests_failed == 2
+
+    def test_healthz_goes_red_when_dispatcher_crashes(self):
+        """A poisoned batcher must turn /healthz into a 503 so load
+        balancers take the instance out of rotation."""
+        from repro.server.http import HttpRequest
+
+        server = ClassificationServer(StubSession(), port=0, max_delay_ms=0)
+
+        def health_request():
+            return HttpRequest(
+                method="GET", path="/healthz", query={}, headers={}, body=b""
+            )
+
+        async def main():
+            await server.batcher.start()
+            healthy = await server._dispatch(health_request())
+
+            def boom(_size):
+                raise RuntimeError("injected dispatcher bug")
+
+            server.batcher.stats.batches.record = boom
+            classify = await server._dispatch(
+                HttpRequest(
+                    method="POST",
+                    path="/classify",
+                    query={},
+                    headers={"content-type": "application/json"},
+                    body=json.dumps({"reads": ["ACGT"]}).encode(),
+                )
+            )
+            unhealthy = await server._dispatch(health_request())
+            await server.batcher.close()
+            return healthy, classify, unhealthy
+
+        healthy, classify, unhealthy = run_async(main())
+        assert healthy.status == 200
+        assert json.loads(healthy.body)["status"] == "ok"
+        assert classify.status == 503  # the crash surfaced as ServerError
+        # permanent failure: no Retry-After inviting a retry loop
+        assert "Retry-After" not in classify.headers
+        assert unhealthy.status == 503
+        assert json.loads(unhealthy.body)["status"] == "failed"
+
 
 # -------------------------------------------------------------- stats unit
 
