@@ -56,6 +56,7 @@ from repro.genomics.io import iter_sequence_records
 from repro.parallel.chunks import ChunkResult
 from repro.parallel.engine import ParallelClassifier, shared_memory_available
 from repro.pipeline.batch import SequenceBatch
+from repro.pipeline.packed import PackedReads
 from repro.pipeline.producer import read_file_producer
 from repro.pipeline.queues import ClosableQueue
 from repro.pipeline.scheduler import run_producer_consumer
@@ -181,17 +182,27 @@ class QuerySession:
         are baked into the index).
         """
         cp = params or self.params
-        headers, seqs = _coerce_batch(reads, _id_offset)
-        mate_seqs = None
-        if mates is not None:
-            _, mate_seqs = _coerce_batch(mates, _id_offset)
-            if len(mate_seqs) != len(seqs):
-                raise InvalidReadError(
-                    f"mate batch has {len(mate_seqs)} reads, expected {len(seqs)}"
-                )
+        if isinstance(reads, SequenceBatch) and mates is None:
+            # fast path: hand the batch's cached packed form straight
+            # to the query kernels, skipping the list round-trip
+            headers = list(reads.headers)
+            payload: "PackedReads | list[np.ndarray]" = reads.packed()
+            mate_seqs = None
+            n = len(reads)
+        else:
+            headers, seqs = _coerce_batch(reads, _id_offset)
+            payload = seqs
+            n = len(seqs)
+            mate_seqs = None
+            if mates is not None:
+                _, mate_seqs = _coerce_batch(mates, _id_offset)
+                if len(mate_seqs) != len(seqs):
+                    raise InvalidReadError(
+                        f"mate batch has {len(mate_seqs)} reads, expected {len(seqs)}"
+                    )
 
-        report = RunReport(n_batches=1, max_batch_reads=len(seqs))
-        if not seqs:
+        report = RunReport(n_batches=1, max_batch_reads=n)
+        if not n:
             run = ClassificationRun([], report, _empty_classification(), None)
             self._account(report)
             return run
@@ -199,7 +210,7 @@ class QuerySession:
         query_params = self.database.params.replace(classification=cp)
         result = query_database(
             self.database,
-            seqs,
+            payload,
             mates=mate_seqs,
             params=query_params,
             node=node if node is not None else self.node,

@@ -236,8 +236,13 @@ class DatabaseBuilder:
         self._features_sketched = 0
         self._finalized = False
         self._sketcher = None  # started lazily on first add
-        self._sketch_meta: dict[int, tuple[str, int, int]] = {}
+        self._sketch_meta: dict[int, list[tuple[str, int, int]]] = {}
         self._next_job = 0
+        # coalescing buffer for packed sketch jobs: small references
+        # accumulate here until one job's worth of bases is reached
+        self._pack_codes: list[np.ndarray] = []
+        self._pack_meta: list[tuple[str, int, int]] = []
+        self._pack_bases = 0
 
     # ------------------------------------------------------------ constructors
 
@@ -331,13 +336,13 @@ class DatabaseBuilder:
                 taxon_id=taxon_id,
             )
         if self.sketch_workers > 1:
-            sketcher = self._ensure_sketcher()
-            job = self._next_job
-            self._next_job += 1
-            self._sketch_meta[job] = (name, int(codes.size), taxon_id)
-            sketcher.submit(job, codes)
-            if sketcher.inflight >= sketcher.max_inflight:
-                self._drain_sketches(sketcher.max_inflight)
+            # coalesce small references into one packed job so every
+            # task pickles as two large arrays instead of N small ones
+            self._pack_codes.append(np.asarray(codes, dtype=np.uint8))
+            self._pack_meta.append((name, int(codes.size), taxon_id))
+            self._pack_bases += int(codes.size)
+            if self._pack_bases >= _PACK_JOB_BASES:
+                self._submit_pack_job()
         else:
             self._ingest(
                 name, int(codes.size), sketch_sequence(codes, self.params.sketch),
@@ -440,14 +445,49 @@ class DatabaseBuilder:
             )
         return self._sketcher
 
+    def _submit_pack_job(self) -> None:
+        """Pack the coalescing buffer into one sketch job and submit it."""
+        if not self._pack_codes:
+            return
+        sketcher = self._ensure_sketcher()
+        buffer = (
+            self._pack_codes[0]
+            if len(self._pack_codes) == 1
+            else np.concatenate(self._pack_codes)
+        )
+        offsets = np.zeros(len(self._pack_codes) + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter(
+                (c.size for c in self._pack_codes),
+                count=len(self._pack_codes),
+                dtype=np.int64,
+            ),
+            out=offsets[1:],
+        )
+        job = self._next_job
+        self._next_job += 1
+        self._sketch_meta[job] = self._pack_meta
+        self._pack_codes = []
+        self._pack_meta = []
+        self._pack_bases = 0
+        sketcher.submit(job, buffer, offsets)
+        if sketcher.inflight >= sketcher.max_inflight:
+            self._drain_sketches(sketcher.max_inflight)
+
     def _drain_sketches(self, below: int) -> None:
         """Ingest pooled sketch results until in-flight drops below cap."""
         sketcher = self._sketcher
         if sketcher is None:
             return
-        for job, sketches in sketcher.drain(below):
-            name, n_bases, taxon_id = self._sketch_meta.pop(job)
-            self._ingest(name, n_bases, sketches, taxon_id)
+        for job, sketches, counts in sketcher.drain(below):
+            row = 0
+            for (name, n_bases, taxon_id), n_win in zip(
+                self._sketch_meta.pop(job), counts
+            ):
+                self._ingest(
+                    name, n_bases, sketches[row : row + int(n_win)], taxon_id
+                )
+                row += int(n_win)
 
     def _ingest(
         self, name: str, n_bases: int, sketches: np.ndarray, taxon_id: int
@@ -549,6 +589,7 @@ class DatabaseBuilder:
             workflow.
         """
         self._check_open()
+        self._submit_pack_job()  # flush the partially-filled packed job
         if self._sketcher is not None:
             try:
                 self._drain_sketches(1)
@@ -616,3 +657,9 @@ class DatabaseBuilder:
 #: disjoint per-file id ranges keep multi-file arrival order
 #: deterministic (file order, then in-file order)
 _FILE_STRIDE = 1 << 40
+
+#: bases coalesced into one packed sketch job before submission --
+#: large enough that per-job queue/pickle overhead amortizes across
+#: many small references, small enough that genome-scale sequences
+#: still go out one per job without extra buffering latency
+_PACK_JOB_BASES = 1 << 20

@@ -86,6 +86,16 @@ class MetaCacheParams:
         """
         return self.sketch.layout.covered_windows(read_len) + 1
 
+    def sliding_window_sizes(self, read_lens) -> "np.ndarray":
+        """:meth:`sliding_window_size` for a whole batch at once.
+
+        Vectorized over an int64 length array -- the packed query
+        path's replacement for the per-read comprehension, identical
+        element-for-element to the scalar method.
+        """
+        layout = self.sketch.layout
+        return layout.covered_windows_batch(read_lens) + 1
+
     @classmethod
     def small(cls, **overrides) -> "MetaCacheParams":
         """Reduced parameters for tests: k=8, s=4, w=24."""

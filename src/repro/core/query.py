@@ -2,7 +2,8 @@
 
 Per batch of reads:
 
-1-3. encode + hash + sketch every read window (one batched kernel);
+1-3. encode + hash + sketch every read window (one batched kernel
+     over the batch's *packed* code buffer -- no per-read loop);
 4.   query sketch features against each partition's hash table;
 5.   compact per-window location lists into per-read segments
      (the feature-order output of the batched retrieve is already
@@ -10,6 +11,14 @@ Per batch of reads:
      the simulated kernel time is what the cost model charges);
 6.   segmented sort of each read's locations;
 7-8. window-count statistic + sliding-window top-m candidates.
+
+Reads enter as a :class:`~repro.pipeline.packed.PackedReads` batch
+(one contiguous uint8 buffer + int64 offset/read-id arrays, the host
+analogue of MetaCache-GPU staging whole read batches in device
+buffers); the legacy list-of-arrays shape is still accepted and packed
+on entry.  ``kernels="legacy"`` runs the pre-packing per-read
+reference path instead -- kept verbatim so the equivalence harness
+and the packed-vs-legacy benchmark can hold the old behavior fixed.
 
 With several partitions, sketches are generated once and each
 partition produces local top hits which merge along the (simulated)
@@ -33,7 +42,8 @@ from repro.core.database import Database
 from repro.gpu.multi_gpu import ring_merge_candidates
 from repro.gpu.topology import MultiGpuNode
 from repro.hashing.minhash import SKETCH_PAD
-from repro.hashing.sketch import sketch_reads
+from repro.hashing.sketch import sketch_reads_loop, sketch_reads_packed
+from repro.pipeline.packed import PackedReads
 from repro.sort.compaction import read_segment_offsets
 from repro.sort.segmented import segmented_sort_lexsort
 from repro.util.timer import StageTimer
@@ -52,10 +62,17 @@ class QueryResult:
     total_locations: int = 0
 
 
-def _interleave_pairs(
+def _interleave_pairs_loop(
     sequences: list[np.ndarray], mates: list[np.ndarray] | None
 ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
-    """Flatten reads (+mates) into one sequence list with read ids."""
+    """Flatten reads (+mates) into one sequence list with read ids.
+
+    The pre-packing reference: builds ``ids``/``lengths`` with
+    per-element Python loops.  Superseded in production by
+    :meth:`PackedReads.from_reads`, which computes the same
+    interleaving with array ops; kept only for ``kernels="legacy"``
+    so the equivalence harness can pin the old behavior.
+    """
     n = len(sequences)
     if mates is None:
         ids = np.arange(n, dtype=np.int64)
@@ -78,10 +95,11 @@ def _interleave_pairs(
 
 def query_database(
     db: Database,
-    sequences: list[np.ndarray],
+    sequences: "PackedReads | list[np.ndarray]",
     mates: list[np.ndarray] | None = None,
     params: MetaCacheParams | None = None,
     node: MultiGpuNode | None = None,
+    kernels: str = "packed",
 ) -> QueryResult:
     """Query reads against every database partition and merge.
 
@@ -90,31 +108,65 @@ def query_database(
     db:
         the database (build or condensed layout).
     sequences / mates:
-        encoded reads; ``mates`` enables paired-end mode.
+        the reads -- either one :class:`PackedReads` batch (``mates``
+        must then be ``None``: pairs are already interleaved inside
+        it), or the legacy list-of-arrays shape, packed on entry.
     params:
         defaults to the database's own parameters.
     node:
         optional multi-GPU node; when given and matching the
         partition count, candidate merging runs through the simulated
         device ring (identical results, adds transfer timing).
+    kernels:
+        ``"packed"`` (default) runs the contiguous-buffer hot path;
+        ``"legacy"`` runs the retained per-read reference
+        implementation (list input only).  Results are byte-identical
+        -- asserted by ``tests/test_packed_equivalence.py``.
     """
     params = params or db.params
     timer = StageTimer()
-    seqs, read_ids, read_lengths = _interleave_pairs(sequences, mates)
-    n_reads = len(sequences)
-    m = params.classification.max_candidates
+    if kernels not in ("packed", "legacy"):
+        raise ValueError(f"unknown kernels mode {kernels!r}")
+    if isinstance(sequences, PackedReads):
+        if mates is not None:
+            raise ValueError(
+                "mates must be None for packed input (pairs are "
+                "interleaved inside the PackedReads batch)"
+            )
+        if kernels == "legacy":
+            raise ValueError("kernels='legacy' requires list input")
+        packed = sequences
+    elif kernels == "packed":
+        packed = PackedReads.from_reads(sequences, mates)
+    else:
+        packed = None
 
-    with timer.stage("sketch"):
-        sketches, window_read_ids = sketch_reads(seqs, params.sketch, read_ids)
+    m = params.classification.max_candidates
+    if packed is not None:
+        n_reads = packed.n_reads
+        read_lengths = packed.read_lengths
+        with timer.stage("sketch"):
+            sketches, window_read_ids = sketch_reads_packed(
+                packed.buffer, packed.offsets, params.sketch, packed.read_ids
+            )
+        sws = params.sliding_window_sizes(read_lengths)
+    else:
+        seqs, read_ids, read_lengths = _interleave_pairs_loop(sequences, mates)
+        n_reads = len(sequences)
+        with timer.stage("sketch"):
+            sketches, window_read_ids = sketch_reads_loop(
+                seqs, params.sketch, read_ids
+            )
+        sws = np.array(
+            [params.sliding_window_size(int(l)) for l in read_lengths],
+            dtype=np.int64,
+        )
+
     n_windows, s = sketches.shape
     flat_features = sketches.reshape(-1)
     valid = flat_features != SKETCH_PAD
     feat_window = np.repeat(np.arange(n_windows, dtype=np.int64), s)[valid]
     features = flat_features[valid]
-
-    sws = np.array(
-        [params.sliding_window_size(int(l)) for l in read_lengths], dtype=np.int64
-    )
 
     per_partition: list[Candidates] = []
     total_locations = 0

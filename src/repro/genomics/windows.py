@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WindowLayout", "num_windows", "window_slices"]
+__all__ = [
+    "WindowLayout",
+    "num_windows",
+    "window_slices",
+    "packed_window_slices",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,24 @@ class WindowLayout:
             return 0
         return max(1, -(-max(read_len - self.k + 1, 1) // self.stride))
 
+    def covered_windows_batch(self, read_lens: np.ndarray) -> np.ndarray:
+        """:meth:`covered_windows` over a whole batch at once (int64).
+
+        Element-for-element identical to the scalar method -- the
+        packed query path uses this instead of a per-read Python loop.
+        """
+        lens = np.asarray(read_lens, dtype=np.int64)
+        kmers = np.maximum(lens - self.k + 1, 1)
+        covered = np.maximum(1, -(-kmers // self.stride))
+        return np.where(lens <= 0, 0, covered)
+
+    def packed_window_slices(
+        self, seg_lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return packed_window_slices(
+            seg_lengths, self.window_size, self.stride, self.k
+        )
+
 
 def num_windows(seq_len: int, window_size: int, stride: int, k: int) -> int:
     """Number of windows needed to cover ``seq_len`` bases.
@@ -92,3 +115,32 @@ def window_slices(
     starts = np.arange(n, dtype=np.int64) * stride
     ends = np.minimum(starts + window_size, seq_len)
     return starts, ends
+
+
+def packed_window_slices(
+    seg_lengths: np.ndarray, window_size: int, stride: int, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`window_slices` for every segment of a packed batch at once.
+
+    Given the lengths of all segments of a contiguous batch, returns
+    ``(counts, segment_ids, starts, ends)``: ``counts[i]`` is the
+    number of windows of segment ``i`` (its :func:`num_windows`), and
+    the remaining three flat arrays describe every window in segment
+    order -- the segment it belongs to and its start/end offsets
+    *local to that segment* (ends clipped to the segment, exactly as
+    :func:`window_slices` clips).  Pure array ops: the per-window axis
+    is built with one ``repeat`` + one subtraction, never a Python
+    loop over segments.
+    """
+    seg_lengths = np.asarray(seg_lengths, dtype=np.int64)
+    counts = np.where(seg_lengths >= k, (seg_lengths - k) // stride + 1, 0)
+    segment_ids = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    win_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=win_offsets[1:])
+    local = (
+        np.arange(segment_ids.size, dtype=np.int64)
+        - win_offsets[segment_ids]
+    )
+    starts = local * stride
+    ends = np.minimum(starts + window_size, seg_lengths[segment_ids])
+    return counts, segment_ids, starts, ends

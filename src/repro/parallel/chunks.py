@@ -11,50 +11,104 @@ single-process run would produce.
 Chunks deliberately carry raw arrays, not per-read record objects:
 records require taxonomy name lookups, which the parent performs with
 its own database so the parallel path shares every byte of the
-serial path's formatting code.
+serial path's formatting code.  Since the packed-batch refactor a
+chunk's read payload is one :class:`~repro.pipeline.packed.PackedReads`
+-- the parent pickles 2-3 large contiguous arrays per chunk instead of
+N small per-read objects, which is where most of the old IPC
+serialization time went.  The ``sequences``/``mates`` list properties
+remain as zero-copy adapter views for legacy call sites.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.classify import Classification
+from repro.pipeline.packed import PackedReads
 
 __all__ = ["ReadChunk", "ChunkResult", "OrderedReassembler"]
 
 
-@dataclass
 class ReadChunk:
     """One batch of encoded reads scheduled onto a worker.
 
     ``chunk_id`` is the zero-based position of this chunk in the input
-    stream (the reassembly key); ``headers`` and ``sequences`` are
-    parallel lists; ``mates`` enables paired-end chunks and must match
-    ``sequences`` in length when present.
+    stream (the reassembly key); ``headers`` has one entry per logical
+    read.  The read payload is stored packed (``self.packed``); the
+    constructor accepts either a pre-built :class:`PackedReads` or the
+    legacy ``sequences``/``mates`` lists, which it packs on entry.
+    ``sequences``/``mates`` stay available as view properties.
     """
 
-    chunk_id: int
-    headers: list[str]
-    sequences: list[np.ndarray]
-    mates: list[np.ndarray] | None = None
+    __slots__ = ("chunk_id", "headers", "packed")
 
-    def __post_init__(self) -> None:
-        if len(self.headers) != len(self.sequences):
+    def __init__(
+        self,
+        chunk_id: int,
+        headers: list[str],
+        sequences: Sequence[np.ndarray] | None = None,
+        mates: Sequence[np.ndarray] | None = None,
+        packed: PackedReads | None = None,
+    ) -> None:
+        if packed is not None:
+            if sequences is not None or mates is not None:
+                raise ValueError(
+                    f"chunk {chunk_id}: pass either packed or "
+                    "sequences/mates, not both"
+                )
+        else:
+            if sequences is None:
+                raise ValueError(
+                    f"chunk {chunk_id}: needs sequences or packed"
+                )
+            if len(headers) != len(sequences):
+                raise ValueError(
+                    f"chunk {chunk_id}: {len(headers)} headers for "
+                    f"{len(sequences)} sequences"
+                )
+            if mates is not None and len(mates) != len(sequences):
+                raise ValueError(
+                    f"chunk {chunk_id}: {len(mates)} mates for "
+                    f"{len(sequences)} sequences"
+                )
+            packed = PackedReads.from_reads(sequences, mates)
+        if len(headers) != packed.n_reads:
             raise ValueError(
-                f"chunk {self.chunk_id}: {len(self.headers)} headers for "
-                f"{len(self.sequences)} sequences"
+                f"chunk {chunk_id}: {len(headers)} headers for "
+                f"{packed.n_reads} reads"
             )
-        if self.mates is not None and len(self.mates) != len(self.sequences):
-            raise ValueError(
-                f"chunk {self.chunk_id}: {len(self.mates)} mates for "
-                f"{len(self.sequences)} sequences"
-            )
+        self.chunk_id = chunk_id
+        self.headers = headers
+        self.packed = packed
+
+    @property
+    def sequences(self) -> list[np.ndarray]:
+        """Legacy list view of the reads (first mates when paired)."""
+        return self.packed.to_lists()[0]
+
+    @property
+    def mates(self) -> list[np.ndarray] | None:
+        """Legacy list view of the second mates (``None`` single-end)."""
+        return self.packed.to_lists()[1]
 
     def __len__(self) -> int:
-        return len(self.sequences)
+        return self.packed.n_reads
+
+    def __getstate__(self):
+        return (self.chunk_id, self.headers, self.packed)
+
+    def __setstate__(self, state) -> None:
+        self.chunk_id, self.headers, self.packed = state
+
+    def __repr__(self) -> str:
+        kind = "paired" if self.packed.paired else "single"
+        return (
+            f"ReadChunk(id={self.chunk_id}, {self.packed.n_reads} {kind} "
+            f"reads, {self.packed.total_bases} bases)"
+        )
 
 
 @dataclass

@@ -44,6 +44,7 @@ from repro.errors import PipelineError, WorkerCrashError
 from repro.parallel.chunks import ChunkResult, OrderedReassembler, ReadChunk
 from repro.parallel.worker import worker_main
 from repro.pipeline.batch import SequenceBatch
+from repro.pipeline.packed import PackedReads
 
 __all__ = ["ParallelClassifier", "shared_memory_available"]
 
@@ -364,18 +365,20 @@ def _coerce_chunk(raw, chunk_id: int) -> ReadChunk:
             )
         return raw
     if isinstance(raw, SequenceBatch):
+        # reuse the batch's cached packed form (built on the producer
+        # thread) instead of re-deriving it from the list view
         return ReadChunk(
-            chunk_id=chunk_id,
-            headers=list(raw.headers),
-            sequences=list(raw.sequences),
+            chunk_id=chunk_id, headers=list(raw.headers), packed=raw.packed()
         )
     if isinstance(raw, tuple) and len(raw) in (2, 3):
+        if len(raw) == 2 and isinstance(raw[1], PackedReads):
+            return ReadChunk(chunk_id=chunk_id, headers=list(raw[0]), packed=raw[1])
         headers, sequences = list(raw[0]), list(raw[1])
         mates = list(raw[2]) if len(raw) == 3 and raw[2] is not None else None
         return ReadChunk(
             chunk_id=chunk_id, headers=headers, sequences=sequences, mates=mates
         )
     raise TypeError(
-        f"unsupported chunk type {type(raw).__name__} "
-        "(expected ReadChunk, SequenceBatch or (headers, sequences[, mates]))"
+        f"unsupported chunk type {type(raw).__name__} (expected ReadChunk, "
+        "SequenceBatch, (headers, PackedReads) or (headers, sequences[, mates]))"
     )

@@ -5,8 +5,11 @@ pipeline (Fig. 2): producers parse and *sketch* reference sequences in
 parallel while a consumer performs ordered batched inserts into the
 hash table.  :class:`ParallelSketcher` is the host-side sketch phase:
 ``N`` spawned worker processes each run
-:func:`repro.hashing.sketch.sketch_sequence` on the encoded sequences
-they pull from a shared task queue, and the caller (the consumer —
+:func:`repro.hashing.sketch.sketch_packed_segments` on the *packed*
+jobs they pull from a shared task queue -- one contiguous uint8 code
+buffer holding one or more reference sequences plus its int64 offset
+array, so a job pickles as two large arrays however many sequences it
+coalesces -- and the caller (the consumer —
 :class:`repro.core.builder.DatabaseBuilder`) drains the per-window
 sketch matrices back **in submission order**, so the insert stream is
 bit-identical to a serial build no matter how workers interleave.
@@ -41,7 +44,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import PipelineError, WorkerCrashError
-from repro.hashing.sketch import SketchParams, sketch_sequence
+from repro.hashing.sketch import SketchParams, sketch_packed_segments
 
 __all__ = ["ParallelSketcher", "sketch_worker_main"]
 
@@ -59,11 +62,13 @@ def sketch_worker_main(worker_id: int, params: SketchParams, tasks, results) -> 
         the sketching configuration every job uses (k, s, w are
         database-wide constants, so they travel once at spawn).
     tasks / results:
-        ``multiprocessing`` queues.  Tasks are ``(job_id, codes)``
-        pairs (encoded uint8 sequences) and ``None`` as the shutdown
-        sentinel; results are ``("ready", worker_id)``,
-        ``("ok", job_id, sketches)`` with the ``(n_windows, s)``
-        uint64 sketch matrix, or
+        ``multiprocessing`` queues.  Tasks are ``(job_id, buffer,
+        offsets)`` packed batches (one contiguous uint8 code buffer,
+        segment ``i`` at ``buffer[offsets[i]:offsets[i+1]]``) and
+        ``None`` as the shutdown sentinel; results are
+        ``("ready", worker_id)``, ``("ok", job_id, sketches, counts)``
+        with the concatenated ``(n_windows, s)`` uint64 sketch matrix
+        and the per-segment window counts to split it by, or
         ``("error", job_id, type_name, message, traceback_text)``.
 
     Never raises: every failure is reported on ``results`` and the
@@ -74,9 +79,10 @@ def sketch_worker_main(worker_id: int, params: SketchParams, tasks, results) -> 
         task = tasks.get()
         if task is None:
             return
-        job_id, codes = task
+        job_id, buffer, offsets = task
         try:
-            results.put(("ok", job_id, sketch_sequence(codes, params)))
+            sketches, counts = sketch_packed_segments(buffer, offsets, params)
+            results.put(("ok", job_id, sketches, counts))
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             results.put(
                 (
@@ -128,10 +134,11 @@ class ParallelSketcher:
     """A pool of worker processes sketching reference sequences.
 
     The sketch phase of the two-phase build pipeline: the caller
-    submits ``(job_id, codes)`` pairs with dense ids and drains
-    ``(job_id, sketches)`` results strictly **in submission order**
-    via :meth:`drain` / :meth:`drain_all`, so the downstream insert
-    stream is identical to a serial build.
+    submits packed jobs (one contiguous code buffer covering one or
+    more reference sequences) with dense ids and drains
+    ``(job_id, sketches, counts)`` results strictly **in submission
+    order** via :meth:`drain` / :meth:`drain_all`, so the downstream
+    insert stream is identical to a serial build.
 
     Parameters
     ----------
@@ -175,7 +182,7 @@ class ParallelSketcher:
         self._inflight = 0
         self._next_submit = 0
         self._next_drain = 0
-        self._buffer: dict[int, np.ndarray] = {}
+        self._buffer: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         ctx = mp.get_context("spawn")
         self._tasks = ctx.Queue()
         self._results = ctx.Queue()
@@ -231,13 +238,22 @@ class ParallelSketcher:
         """Jobs submitted but not yet drained (includes buffered)."""
         return self._inflight
 
-    def submit(self, job_id: int, codes: np.ndarray) -> None:
-        """Queue one sequence for sketching.
+    def submit(
+        self,
+        job_id: int,
+        buffer: np.ndarray,
+        offsets: np.ndarray | None = None,
+    ) -> None:
+        """Queue one packed job (one or more sequences) for sketching.
 
-        ``job_id`` must continue the dense submission sequence
-        (0, 1, 2, ...) — ordered draining is defined over contiguous
-        ids — and the pool must have in-flight headroom (drain first
-        when :attr:`inflight` reaches :attr:`max_inflight`).
+        ``buffer`` is the contiguous uint8 code buffer; ``offsets``
+        (int64, ``n_segments + 1``) delimits the sequences inside it
+        and defaults to the single-segment job covering the whole
+        buffer.  ``job_id`` must continue the dense submission
+        sequence (0, 1, 2, ...) — ordered draining is defined over
+        contiguous ids — and the pool must have in-flight headroom
+        (drain first when :attr:`inflight` reaches
+        :attr:`max_inflight`).
 
         Raises ``ValueError`` on an out-of-sequence id or a full
         pool, ``PipelineError`` when the pool is closed.
@@ -250,18 +266,24 @@ class ParallelSketcher:
             )
         if self._inflight >= self.max_inflight:
             raise ValueError("sketch pool is full; drain results first")
-        self._tasks.put((job_id, codes))
+        if offsets is None:
+            offsets = np.array([0, buffer.size], dtype=np.int64)
+        self._tasks.put((job_id, buffer, offsets))
         self._next_submit += 1
         self._inflight += 1
 
     # ------------------------------------------------------------ draining
 
-    def drain(self, below: int) -> Iterator[tuple[int, np.ndarray]]:
+    def drain(
+        self, below: int
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
         """Yield in-order results until fewer than ``below`` are in flight.
 
         Blocks on the result queue as needed; watches for worker
-        crashes while waiting.  Yields ``(job_id, sketches)`` with
-        contiguous ids continuing the last drained job.
+        crashes while waiting.  Yields ``(job_id, sketches, counts)``
+        with contiguous ids continuing the last drained job;
+        ``counts[i]`` rows of the concatenated ``sketches`` matrix
+        belong to the job's segment ``i``.
 
         Raises
         ------
@@ -275,16 +297,16 @@ class ParallelSketcher:
             while self._inflight >= max(1, below):
                 while self._next_drain not in self._buffer:
                     self._pump()
-                sketches = self._buffer.pop(self._next_drain)
+                sketches, counts = self._buffer.pop(self._next_drain)
                 job = self._next_drain
                 self._next_drain += 1
                 self._inflight -= 1
-                yield job, sketches
+                yield job, sketches, counts
         except BaseException:
             self.close()
             raise
 
-    def drain_all(self) -> Iterator[tuple[int, np.ndarray]]:
+    def drain_all(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
         """Yield every outstanding result, in submission order.
 
         Same contract and failure behavior as :meth:`drain`; used by
@@ -301,12 +323,12 @@ class ParallelSketcher:
             return
         kind = msg[0]
         if kind == "ok":
-            _, job_id, sketches = msg
-            self._buffer[job_id] = sketches
+            _, job_id, sketches, counts = msg
+            self._buffer[job_id] = (sketches, counts)
         elif kind == "error":
             _, job_id, type_name, message, tb = msg
             raise PipelineError(
-                f"sketch worker failed on sequence {job_id}: "
+                f"sketch worker failed on job {job_id}: "
                 f"{type_name}: {message}\n--- worker traceback ---\n{tb}"
             )
         elif kind not in ("ready",):  # pragma: no cover - protocol bug

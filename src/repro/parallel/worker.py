@@ -96,9 +96,9 @@ def _classify_chunk(db, chunk: ReadChunk, cparams, worker_id: int) -> ChunkResul
     t0 = time.perf_counter()
     c0 = time.process_time()
     query_params = db.params.replace(classification=cparams)
-    result = query_database(
-        db, chunk.sequences, mates=chunk.mates, params=query_params
-    )
+    # chunks arrive packed: hand the contiguous batch straight to the
+    # query kernels, no per-read list round-trip
+    result = query_database(db, chunk.packed, params=query_params)
     cls = classify_reads(db, result.candidates, cparams)
     return ChunkResult(
         chunk_id=chunk.chunk_id,

@@ -33,6 +33,7 @@ def _emit_batches(
     batch_size: int,
     start_id: int,
     cancelled: threading.Event | None = None,
+    pack: bool = False,
 ) -> int:
     batch = SequenceBatch()
     seq_id = start_id
@@ -42,9 +43,13 @@ def _emit_batches(
         batch.append(header, encode_sequence(seq), seq_id)
         seq_id += 1
         if len(batch) >= batch_size:
+            if pack:
+                batch.packed()
             out.put(batch)
             batch = SequenceBatch()
     if len(batch):
+        if pack:
+            batch.packed()
         out.put(batch)
     return seq_id - start_id
 
@@ -133,8 +138,16 @@ def read_file_producer(
     from repro.genomics.io import iter_sequence_records
 
     try:
+        # pre-pack each read batch on the producer thread: consumers
+        # (serial query loop or engine chunk pickling) get the
+        # contiguous form without paying for the concatenate themselves
         return _emit_batches(
-            iter_sequence_records(path), out, batch_size, 0, cancelled=cancelled
+            iter_sequence_records(path),
+            out,
+            batch_size,
+            0,
+            cancelled=cancelled,
+            pack=True,
         )
     finally:
         out.close_producer()

@@ -37,6 +37,11 @@ def pytest_configure(config):
         "timeout(seconds): override the per-test deadlock alarm "
         f"(default {DEFAULT_TIMEOUT_SECONDS}s; 0 disables)",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (worker-pool matrices, large sweeps); "
+        "deselect with -m 'not slow' for a quick pass",
+    )
 
 
 @pytest.fixture(autouse=True)

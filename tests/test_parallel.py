@@ -233,9 +233,16 @@ class TestParallelClassifier:
     def test_worker_task_error_surfaces_traceback(self, world):
         mc, headers, seqs = world
         engine = ParallelClassifier(mc.database, workers=WORKERS)
-        bad = [(["broken"], [None])]  # not an ndarray: sketching raises
+        # malformed input now fails at parent-side packing; to reach
+        # the worker, poison a valid chunk's payload after validation
+        chunk = ReadChunk(
+            chunk_id=0,
+            headers=["broken"],
+            sequences=[np.zeros(60, dtype=np.uint8)],
+        )
+        chunk.packed.buffer = None  # worker-side sketch raises on this
         with pytest.raises(PipelineError, match="worker traceback"):
-            list(engine.classify_chunks(bad))
+            list(engine.classify_chunks([chunk]))
         assert engine.closed
         assert not _leaked_blocks()
 
