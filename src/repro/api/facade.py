@@ -28,11 +28,11 @@ import os
 import weakref
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.api.records import ClassificationRun, DatabaseInfo
+from repro.api.records import BuildStats, ClassificationRun, DatabaseInfo
 from repro.api.session import QuerySession
 from repro.core.builder import DatabaseBuilder
 from repro.core.config import ClassificationParams, MetaCacheParams
@@ -40,9 +40,14 @@ from repro.core.database import Database
 from repro.core.io import convert_database, load_database, save_database
 from repro.errors import DatabaseFormatError, InvalidMappingError
 from repro.genomics.alphabet import encode_sequence
+from repro.gpu.device import Device
+from repro.gpu.topology import MultiGpuNode
 from repro.taxonomy.ncbi import load_ncbi_dump
 from repro.taxonomy.tree import Taxonomy
 from repro.util.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: server imports the api
+    from repro.server import ClassificationServer, ServerThread
 
 __all__ = ["MetaCache", "load_accession_mapping"]
 
@@ -78,7 +83,7 @@ def _resolve_taxonomy(taxonomy: Taxonomy | str | os.PathLike) -> Taxonomy:
 
 
 @contextmanager
-def _translate_db_errors(path: str | os.PathLike):
+def _translate_db_errors(path: str | os.PathLike[str]) -> Iterator[None]:
     """Map raw loader errors on ``path`` to ``DatabaseFormatError``.
 
     The loaders' long-standing contract lets ``FileNotFoundError`` /
@@ -134,7 +139,7 @@ class MetaCache:
         cls,
         path: str | os.PathLike,
         *,
-        devices=None,
+        devices: Sequence[Device] | None = None,
         workers: int = 1,
         mmap: bool = False,
     ) -> "MetaCache":
@@ -198,11 +203,11 @@ class MetaCache:
         params: MetaCacheParams | None = None,
         *,
         n_partitions: int = 1,
-        devices=None,
+        devices: Sequence[Device] | None = None,
         batch_size: int = 32,
         workers: int = 1,
         build_workers: int = 1,
-        progress=None,
+        progress: Callable[[BuildStats], None] | None = None,
     ) -> "MetaCache":
         """Build from reference FASTA files through the streaming pipeline.
 
@@ -243,10 +248,10 @@ class MetaCache:
         params: MetaCacheParams | None = None,
         *,
         n_partitions: int = 1,
-        devices=None,
+        devices: Sequence[Device] | None = None,
         workers: int = 1,
         build_workers: int = 1,
-        progress=None,
+        progress: Callable[[BuildStats], None] | None = None,
     ) -> "MetaCache":
         """On-the-fly mode: in-memory build, queryable immediately.
 
@@ -291,7 +296,7 @@ class MetaCache:
         references: Iterable[tuple[str, "np.ndarray | str", int]] | None = None,
         batch_size: int = 32,
         build_workers: int = 1,
-        progress=None,
+        progress: Callable[[BuildStats], None] | None = None,
     ) -> "MetaCache":
         """Add reference targets to this database, in place.
 
@@ -382,7 +387,7 @@ class MetaCache:
         self,
         params: ClassificationParams | None = None,
         *,
-        node=None,
+        node: MultiGpuNode | None = None,
         workers: int | None = None,
     ) -> QuerySession:
         """Open a warm query session (cheap; make as many as you like).
@@ -401,7 +406,9 @@ class MetaCache:
         self._sessions.add(session)
         return session
 
-    def classify(self, reads, mates=None, **kwargs) -> ClassificationRun:
+    def classify(
+        self, reads: Any, mates: Any = None, **kwargs: Any
+    ) -> ClassificationRun:
         """One-shot convenience: classify through a shared default session."""
         if self._default_session is None:
             self._default_session = self.session()
@@ -420,8 +427,8 @@ class MetaCache:
         max_delay_ms: float = 2.0,
         max_queued_reads: int = 65536,
         block: bool = True,
-        on_started=None,
-    ):
+        on_started: "Callable[[ClassificationServer], None] | None" = None,
+    ) -> "ServerThread | None":
         """Serve classification over HTTP from this warm database.
 
         Starts the micro-batching server of :mod:`repro.server` on a
@@ -552,7 +559,7 @@ class MetaCache:
     def __enter__(self) -> "MetaCache":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

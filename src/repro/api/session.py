@@ -27,9 +27,10 @@ output.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import warnings
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -53,6 +54,7 @@ from repro.errors import (
 )
 from repro.genomics.alphabet import encode_sequence
 from repro.genomics.io import iter_sequence_records
+from repro.gpu.topology import MultiGpuNode
 from repro.parallel.chunks import ChunkResult
 from repro.parallel.engine import ParallelClassifier, shared_memory_available
 from repro.pipeline.batch import SequenceBatch
@@ -66,7 +68,7 @@ __all__ = ["QuerySession", "iter_batches", "DEFAULT_BATCH_SIZE"]
 DEFAULT_BATCH_SIZE = 4096
 
 
-def iter_batches(reads: Iterable, batch_size: int) -> Iterator[list]:
+def iter_batches(reads: Iterable[Any], batch_size: int) -> Iterator[list[Any]]:
     """Chunk any read iterable into lists of at most ``batch_size``.
 
     Lazy: pulls from ``reads`` only as batches are consumed, so it
@@ -83,7 +85,7 @@ def iter_batches(reads: Iterable, batch_size: int) -> Iterator[list]:
         yield batch
 
 
-def _coerce_read(read, index: int) -> tuple[str | None, np.ndarray]:
+def _coerce_read(read: Any, index: int) -> tuple[str | None, np.ndarray]:
     """Accept the read shapes the API supports; returns (header, codes).
 
     Supported: encoded ``np.ndarray``, plain sequence ``str``,
@@ -111,7 +113,7 @@ def _coerce_read(read, index: int) -> tuple[str | None, np.ndarray]:
 
 
 def _coerce_batch(
-    reads, id_offset: int
+    reads: SequenceBatch | Iterable[Any], id_offset: int
 ) -> tuple[list[str], list[np.ndarray]]:
     """Normalize a batch into (headers, encoded sequences)."""
     if isinstance(reads, SequenceBatch):
@@ -151,7 +153,7 @@ class QuerySession:
         self,
         database: Database,
         params: ClassificationParams | None = None,
-        node=None,
+        node: MultiGpuNode | None = None,
         workers: int = 1,
     ) -> None:
         if workers < 1:
@@ -168,11 +170,11 @@ class QuerySession:
 
     def classify(
         self,
-        reads,
-        mates=None,
+        reads: Any,
+        mates: Any = None,
         *,
         params: ClassificationParams | None = None,
-        node=None,
+        node: MultiGpuNode | None = None,
         _id_offset: int = 0,
     ) -> ClassificationRun:
         """Classify one in-memory batch of reads.
@@ -283,10 +285,10 @@ class QuerySession:
 
     def classify_iter(
         self,
-        batches: Iterable,
+        batches: Iterable[Any],
         *,
         params: ClassificationParams | None = None,
-        node=None,
+        node: MultiGpuNode | None = None,
     ) -> Iterator[ClassificationRun]:
         """Lazily classify an iterable of batches, yielding per-batch runs.
 
@@ -314,11 +316,11 @@ class QuerySession:
 
     def classify_to(
         self,
-        batches: Iterable,
+        batches: Iterable[Any],
         sink: Sink,
         *,
         params: ClassificationParams | None = None,
-        node=None,
+        node: MultiGpuNode | None = None,
     ) -> RunReport:
         """Stream batches into a sink; returns the merged run report."""
         total = RunReport()
@@ -330,13 +332,13 @@ class QuerySession:
 
     def classify_files(
         self,
-        reads_path,
-        mates_path=None,
+        reads_path: str | os.PathLike[str],
+        mates_path: str | os.PathLike[str] | None = None,
         *,
         sink: Sink | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         params: ClassificationParams | None = None,
-        node=None,
+        node: MultiGpuNode | None = None,
         queue_depth: int = 4,
         workers: int | None = None,
     ) -> RunReport:
@@ -403,13 +405,13 @@ class QuerySession:
 
     def _classify_files_serial(
         self,
-        reads_path,
-        mates_path,
+        reads_path: str | os.PathLike[str],
+        mates_path: str | os.PathLike[str] | None,
         *,
         sink: Sink | None,
         batch_size: int,
         params: ClassificationParams | None,
-        node,
+        node: MultiGpuNode | None,
         queue_depth: int,
     ) -> RunReport:
         """The single-process consumer end of :meth:`classify_files`."""
@@ -431,7 +433,7 @@ class QuerySession:
         # threads and re-raise the consumer's error.
         cancelled = threading.Event()
 
-        def produce(q: ClosableQueue):
+        def produce(q: ClosableQueue) -> None:
             read_file_producer(reads_path, q, batch_size, cancelled=cancelled)
 
         def consume(q: ClosableQueue) -> RunReport:
@@ -456,8 +458,8 @@ class QuerySession:
 
     def _classify_files_parallel(
         self,
-        reads_path,
-        mates_path,
+        reads_path: str | os.PathLike[str],
+        mates_path: str | os.PathLike[str] | None,
         *,
         sink: Sink | None,
         batch_size: int,
@@ -489,7 +491,7 @@ class QuerySession:
         cp = params or self.params
         cancelled = threading.Event()
 
-        def produce(q: ClosableQueue):
+        def produce(q: ClosableQueue) -> None:
             if mates_path is not None:
                 try:
                     for pair in self._paired_batches(
@@ -523,7 +525,9 @@ class QuerySession:
         )
         return results[0]
 
-    def _queue_item_to_chunk(self, item):
+    def _queue_item_to_chunk(
+        self, item: SequenceBatch | tuple[Any, Any]
+    ) -> SequenceBatch | tuple[list[str], list[np.ndarray], list[np.ndarray]]:
         """Map producer output to an engine chunk (encodes paired reads)."""
         if isinstance(item, SequenceBatch):
             return item
@@ -562,7 +566,9 @@ class QuerySession:
                 sink.write(rec)
         return report
 
-    def _effective_workers(self, workers: int | None, node) -> int:
+    def _effective_workers(
+        self, workers: int | None, node: MultiGpuNode | None
+    ) -> int:
         """Resolve the worker count for one classify_files call."""
         n = self.workers if workers is None else workers
         if n < 1:
@@ -627,12 +633,15 @@ class QuerySession:
     def __enter__(self) -> "QuerySession":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _paired_batches(
-        self, reads_path, mates_path, batch_size: int
-    ) -> Iterator[tuple[list, list]]:
+        self,
+        reads_path: str | os.PathLike[str],
+        mates_path: str | os.PathLike[str],
+        batch_size: int,
+    ) -> Iterator[tuple[list[Any], list[Any]]]:
         pairs = itertools.zip_longest(
             iter_sequence_records(reads_path),
             iter_sequence_records(mates_path),
@@ -653,8 +662,8 @@ class QuerySession:
 
     def map(
         self,
-        reads,
-        mates=None,
+        reads: Any,
+        mates: Any = None,
         *,
         min_hits: int | None = None,
     ) -> ReadMapping:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import io
 import json
 import os
-from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterable, Iterator, Protocol, Self, runtime_checkable
 
 from repro.api.records import ReadClassification
 from repro.errors import UnknownFormatError
@@ -75,11 +75,11 @@ class _SinkBase:
             n += 1
         return n
 
-    def __enter__(self):
+    def __enter__(self) -> Self:
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.finish()
 
 
@@ -236,7 +236,9 @@ def _lines_of(source: str | os.PathLike | io.TextIOBase | Iterable[str]) -> Iter
         yield from source
 
 
-def read_tsv(source) -> list[ReadClassification]:
+def read_tsv(
+    source: str | os.PathLike | io.TextIOBase | Iterable[str],
+) -> list[ReadClassification]:
     """Parse TsvSink output back into records (read_length is not stored)."""
     records = []
     for i, line in enumerate(_lines_of(source)):
@@ -263,7 +265,9 @@ def read_tsv(source) -> list[ReadClassification]:
     return records
 
 
-def read_jsonl(source) -> list[ReadClassification]:
+def read_jsonl(
+    source: str | os.PathLike | io.TextIOBase | Iterable[str],
+) -> list[ReadClassification]:
     """Parse JsonlSink output back into records (lossless)."""
     records = []
     for line in _lines_of(source):
@@ -287,7 +291,9 @@ def read_jsonl(source) -> list[ReadClassification]:
     return records
 
 
-def read_kraken(source) -> list[tuple[str, str, int, int, int]]:
+def read_kraken(
+    source: str | os.PathLike | io.TextIOBase | Iterable[str],
+) -> list[tuple[str, str, int, int, int]]:
     """Parse KrakenSink output into (status, read, taxid, length, score)."""
     rows = []
     for line in _lines_of(source):

@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import io
 import sys
+from pathlib import Path
 
 from repro.api import (
     DEFAULT_BATCH_SIZE,
@@ -204,6 +205,35 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # tools/ lives in the repository checkout, not in the installed
+    # package: locate it relative to this file, falling back to the
+    # current working directory for `pip install -e`-less layouts.
+    candidates = [
+        Path(__file__).resolve().parent.parent.parent,  # src/repro/cli.py -> repo
+        Path.cwd(),
+    ]
+    for root in candidates:
+        if (root / "tools" / "repro_lint" / "__init__.py").exists():
+            if str(root) not in sys.path:
+                sys.path.insert(0, str(root))
+            from tools.repro_lint.cli import main as lint_main
+
+            argv = [str(p) for p in args.paths]
+            for rule in args.select or []:
+                argv += ["--select", rule]
+            if args.list_rules:
+                argv.append("--list-rules")
+            argv += ["--root", str(root)]
+            return lint_main(argv)
+    print(
+        "metacache-repro lint needs a repository checkout (tools/repro_lint "
+        "not found relative to the package or the working directory)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="metacache-repro",
@@ -315,6 +345,18 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--out", required=True)
     m.add_argument("--top", type=int, default=None)
     m.set_defaults(func=_cmd_merge)
+
+    lnt = sub.add_parser(
+        "lint",
+        help="run repro-lint (the repo's AST contract checker) over src/",
+    )
+    lnt.add_argument("paths", nargs="*",
+                     help="files or directories (default: src/)")
+    lnt.add_argument("--select", action="append", metavar="RULE",
+                     help="run only these rule ids (repeatable)")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalog and exit")
+    lnt.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -28,7 +28,7 @@ class FastqRecord:
 
     def __post_init__(self) -> None:
         if len(self.sequence) != len(self.quality):
-            raise ValueError(
+            raise InvalidReadError(
                 f"sequence/quality length mismatch for '{self.header}': "
                 f"{len(self.sequence)} vs {len(self.quality)}"
             )

@@ -170,8 +170,12 @@ class MicroBatcher:
             await self._runner
             self._runner = None
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            # shutdown(wait=True) blocks until the worker thread drains;
+            # run it off-loop so close() cannot stall other connections.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: executor.shutdown(wait=True)
+            )
 
     # ---------------------------------------------------------------- submit
 

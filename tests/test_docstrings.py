@@ -1,10 +1,12 @@
 """Docstring completeness of the documented packages.
 
-Mirrors the CI docs job (``tools/check_docstrings.py``): every public
-module/class/function/method in ``repro.api`` and ``repro.parallel``
-must carry a docstring, because ``docs/api.md`` is written against
-them.  Also sanity-checks the checker itself so a regression in the
-AST walk cannot silently let violations through.
+Mirrors the CI lint job's RL000 rule (``tools/repro_lint``, which
+absorbed the former ``tools/check_docstrings.py`` script): every
+public module/class/function/method in ``repro.api``,
+``repro.parallel``, and ``repro.server`` must carry a docstring,
+because ``docs/api.md`` is written against them.  Also sanity-checks
+the rule itself so a regression in the AST walk cannot silently let
+violations through.
 """
 
 import sys
@@ -12,19 +14,44 @@ import textwrap
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT))
 
-from check_docstrings import check_file, check_paths  # noqa: E402
+from tools.repro_lint import Module, get_rule  # noqa: E402
+
+RULE = get_rule("RL000")
 
 DOCUMENTED_PACKAGES = [
     REPO_ROOT / "src" / "repro" / "api",
     REPO_ROOT / "src" / "repro" / "parallel",
+    REPO_ROOT / "src" / "repro" / "server",
 ]
+
+
+def check_file(path, root=None):
+    """Run RL000 over one file, returning rendered violation lines."""
+    module = Module.parse(Path(path), root or REPO_ROOT)
+    return [finding.render() for finding in RULE.check(module)]
+
+
+def check_paths(paths):
+    """Run RL000 over files under ``paths`` (mirrors the old script API)."""
+    violations = []
+    for base in paths:
+        for path in sorted(Path(base).rglob("*.py")):
+            violations.extend(check_file(path))
+    return violations
 
 
 def test_documented_packages_are_fully_docstringed():
     violations = check_paths(DOCUMENTED_PACKAGES)
     assert not violations, "\n".join(violations)
+
+
+def test_rl000_is_registered_and_scoped():
+    module = Module.parse(
+        REPO_ROOT / "src" / "repro" / "api" / "__init__.py", REPO_ROOT
+    )
+    assert RULE.applies(module)
 
 
 def test_checker_detects_missing_docstrings(tmp_path):
@@ -49,13 +76,13 @@ def test_checker_detects_missing_docstrings(tmp_path):
             '''
         )
     )
-    violations = check_file(bad)
+    violations = check_file(bad, root=tmp_path)
     flat = "\n".join(violations)
-    assert "function undocumented" in flat
-    assert "class Thing" in flat
-    assert "method method" in flat
+    assert "undocumented" in flat
+    assert "Thing" in flat
+    assert "Thing.method" in flat
     assert "_private" not in flat
-    assert "function documented" not in flat
+    assert "[documented]" not in flat
 
 
 def test_checker_accepts_clean_file(tmp_path):
@@ -75,4 +102,4 @@ def test_checker_accepts_clean_file(tmp_path):
             '''
         )
     )
-    assert check_file(good) == []
+    assert check_file(good, root=tmp_path) == []

@@ -1,0 +1,605 @@
+"""repro-lint framework and rule tests.
+
+Per rule RL000-RL006: one known-bad fixture that must fire (true
+positive) and one known-good fixture that must stay silent (true
+negative), plus suppression-comment handling, baseline matching with
+stale-entry detection, a regression test pinning the committed
+baseline, and the CLI exit codes.
+
+Fixtures are written under ``tmp_path`` mirroring the repo layout
+(``src/repro/...``) because rules scope themselves by repo-relative
+path; ``root=tmp_path`` makes the relative paths line up.
+"""
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repro_lint import Linter, Module, all_rules, get_rule  # noqa: E402
+from tools.repro_lint.cli import main as lint_main  # noqa: E402
+from tools.repro_lint.core import BaselineEntry, load_baseline  # noqa: E402
+
+
+def run_rule(rule_id, tmp_path, relpath, source):
+    """Write one fixture file and run a single rule over it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    rule = get_rule(rule_id)
+    module = Module.parse(path, tmp_path)
+    assert rule.applies(module), f"{rule_id} should apply to {relpath}"
+    return [f for f in rule.check(module)]
+
+
+def lint_tree(tmp_path, select=None, baseline=()):
+    """Run the full Linter over a fixture tree."""
+    return Linter(tmp_path, select=select, baseline=baseline).lint([tmp_path])
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_all_seven_rules_registered():
+    ids = [r.rule_id for r in all_rules()]
+    assert ids == ["RL000", "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    for rule in all_rules():
+        assert rule.name and rule.rationale
+
+
+def test_unknown_rule_select_rejected(tmp_path):
+    with pytest.raises(KeyError):
+        Linter(tmp_path, select=["RL999"])
+
+
+# ------------------------------------------------------------------- RL000
+
+
+def test_rl000_fires_on_missing_docstrings(tmp_path):
+    findings = run_rule(
+        "RL000",
+        tmp_path,
+        "src/repro/api/thing.py",
+        '''
+        """Module documented."""
+
+        def undocumented():
+            pass
+        ''',
+    )
+    assert len(findings) == 1
+    assert findings[0].symbol == "undocumented"
+
+
+def test_rl000_silent_on_documented_module(tmp_path):
+    findings = run_rule(
+        "RL000",
+        tmp_path,
+        "src/repro/api/thing.py",
+        '''
+        """Module documented."""
+
+        def fn():
+            """Documented."""
+
+        def _helper():
+            pass
+
+        class Proto:
+            """Documented."""
+
+            def stub(self) -> None: ...
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL001
+
+
+RL001_BAD = '''
+"""Kernel module."""
+
+def sketch_batch(reads):
+    """Per-read loop: banned."""
+    out = []
+    for read in reads:
+        out.append(read.sum())
+    return out
+'''
+
+RL001_GOOD = '''
+"""Kernel module."""
+import numpy as np
+
+def sketch_batch(buf, offsets):
+    """Batched: fine."""
+    return np.add.reduceat(buf, offsets[:-1])
+
+def sketch_reads_loop(reads):
+    """Pinned legacy reference: exempt."""
+    out = []
+    for read in reads:
+        out.append(read.sum())
+    return out
+
+def from_reads(reads):
+    """Comprehensions at the batch boundary are allowed."""
+    return [len(read) for read in reads]
+'''
+
+
+def test_rl001_fires_on_per_read_loop(tmp_path):
+    findings = run_rule("RL001", tmp_path, "src/repro/hashing/kern.py", RL001_BAD)
+    assert len(findings) == 1
+    assert findings[0].symbol == "sketch_batch"
+
+
+def test_rl001_silent_on_kernels_loop_refs_and_comprehensions(tmp_path):
+    findings = run_rule("RL001", tmp_path, "src/repro/hashing/kern.py", RL001_GOOD)
+    assert findings == []
+
+
+def test_rl001_out_of_scope_module_not_checked(tmp_path):
+    path = tmp_path / "src/repro/util/misc.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(RL001_BAD)
+    module = Module.parse(path, tmp_path)
+    assert not get_rule("RL001").applies(module)
+
+
+# ------------------------------------------------------------------- RL002
+
+
+def test_rl002_fires_on_weighted_bincount_and_float_cumsum(tmp_path):
+    findings = run_rule(
+        "RL002",
+        tmp_path,
+        "src/repro/core/votes.py",
+        '''
+        """Vote counting."""
+        import numpy as np
+
+        def tally(targets, weights):
+            """Float accumulation: banned."""
+            counts = np.bincount(targets, weights=weights)
+            scores = np.cumsum(counts, dtype=np.float64)
+            return counts, scores
+        ''',
+    )
+    assert len(findings) == 2
+    assert "bincount" in findings[0].message
+    assert "cumsum" in findings[1].message
+
+
+def test_rl002_silent_on_int64_scatter_add(tmp_path):
+    findings = run_rule(
+        "RL002",
+        tmp_path,
+        "src/repro/core/votes.py",
+        '''
+        """Vote counting."""
+        import numpy as np
+
+        def tally(targets, n):
+            """Exact int64 scatter-add (the PR 3 idiom)."""
+            counts = np.zeros(n, dtype=np.int64)
+            np.add.at(counts, targets, 1)
+            offsets = np.cumsum(lengths, dtype=np.int64)
+            means = np.cumsum(samples, dtype=np.float64)  # not a counter
+            return counts, offsets
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL003
+
+
+def test_rl003_fires_on_bare_valueerror_and_stdlib_reraise(tmp_path):
+    findings = run_rule(
+        "RL003",
+        tmp_path,
+        "src/repro/api/surface.py",
+        '''
+        """Public surface."""
+
+        def parse(data):
+            """Raises untyped: banned."""
+            if not data:
+                raise ValueError("empty")
+            try:
+                return int(data)
+            except KeyError:
+                raise
+        ''',
+    )
+    assert len(findings) == 2
+    assert "bare ValueError" in findings[0].message
+    assert "re-raise" in findings[1].message
+
+
+def test_rl003_silent_on_typed_private_and_nested(tmp_path):
+    findings = run_rule(
+        "RL003",
+        tmp_path,
+        "src/repro/api/surface.py",
+        '''
+        """Public surface."""
+        from repro.errors import InvalidReadError
+
+        def parse(data):
+            """Typed raise + non-stdlib re-raise: fine."""
+            if not data:
+                raise InvalidReadError("empty")
+            try:
+                return int(data)
+            except InvalidReadError:
+                raise
+
+        def _internal(data):
+            raise ValueError("private helpers are out of scope")
+
+        def outer():
+            """Nested defs are internal until they escape."""
+            def inner():
+                raise ValueError("nested")
+            return inner
+
+        def stop():
+            """NotImplementedError is excluded by design."""
+            raise NotImplementedError
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL004
+
+
+def test_rl004_fires_on_fork_and_lambda_payload(tmp_path):
+    findings = run_rule(
+        "RL004",
+        tmp_path,
+        "src/repro/parallel/jobs.py",
+        '''
+        """Job dispatch."""
+        import multiprocessing as mp
+
+        SHARED = {}
+
+        def dispatch(queue, chunk):
+            """Unsafe payloads: banned."""
+            ctx = mp.get_context("fork")
+            queue.put((chunk, lambda x: x + 1))
+            queue.put(SHARED)
+        ''',
+    )
+    kinds = [f.message for f in findings]
+    assert len(findings) == 3
+    assert any("fork" in m for m in kinds)
+    assert any("lambda" in m for m in kinds)
+    assert any("SHARED" in m for m in kinds)
+
+
+def test_rl004_silent_on_spawn_and_plain_tuples(tmp_path):
+    findings = run_rule(
+        "RL004",
+        tmp_path,
+        "src/repro/parallel/jobs.py",
+        '''
+        """Job dispatch."""
+        import multiprocessing as mp
+
+        def dispatch(queue, chunk_id, headers, arrays):
+            """Plain picklable tuples under spawn: fine."""
+            ctx = mp.get_context("spawn")
+            queue.put((chunk_id, headers, arrays))
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL005
+
+
+def test_rl005_fires_on_blocking_calls_in_coroutine(tmp_path):
+    findings = run_rule(
+        "RL005",
+        tmp_path,
+        "src/repro/server/handlers.py",
+        '''
+        """Handlers."""
+        import gzip
+        import time
+
+        async def handle(body, session):
+            """Blocking inside async def: banned."""
+            time.sleep(0.1)
+            data = gzip.decompress(body)
+            return session.classify(data)
+        ''',
+    )
+    assert len(findings) == 3
+    assert "time.sleep" in findings[0].message
+    assert "gzip.decompress" in findings[1].message
+    assert "classify" in findings[2].message
+
+
+def test_rl005_silent_on_offload_and_sync_defs(tmp_path):
+    findings = run_rule(
+        "RL005",
+        tmp_path,
+        "src/repro/server/handlers.py",
+        '''
+        """Handlers."""
+        import asyncio
+        import gzip
+
+        async def handle(body, session):
+            """The sanctioned pattern: offload to the executor."""
+            loop = asyncio.get_running_loop()
+
+            def work():
+                return session.classify(gzip.decompress(body))
+
+            result = await loop.run_in_executor(None, work)
+            await asyncio.sleep(0.01)
+            return result
+
+        def sync_helper(session, data):
+            """Sync functions may block freely."""
+            return session.classify(data)
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL006
+
+
+def test_rl006_fires_on_leaked_shared_memory(tmp_path):
+    findings = run_rule(
+        "RL006",
+        tmp_path,
+        "src/repro/core/shm.py",
+        '''
+        """Shared memory."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        def probe():
+            """Acquired, never released, never escapes: leak."""
+            block = SharedMemory(create=True, size=16)
+            return block.size > 0
+        ''',
+    )
+    assert len(findings) == 1
+    assert findings[0].symbol == "probe"
+
+
+def test_rl006_silent_on_with_finally_and_escape(tmp_path):
+    findings = run_rule(
+        "RL006",
+        tmp_path,
+        "src/repro/core/shm.py",
+        '''
+        """Shared memory."""
+        import mmap
+        from multiprocessing.shared_memory import SharedMemory
+
+        def with_block(path):
+            """Context manager: fine."""
+            with mmap.mmap(-1, 16) as m:
+                return bytes(m[:4])
+
+        def finally_paired():
+            """close/unlink in finally: fine."""
+            block = SharedMemory(create=True, size=16)
+            try:
+                return bytes(block.buf[:4])
+            finally:
+                block.close()
+                block.unlink()
+
+        def escapes():
+            """Returned handle: the caller owns the lifetime."""
+            return SharedMemory(create=True, size=16)
+
+        def stored(registry):
+            """Handle passed on: the owner closes it."""
+            block = SharedMemory(create=True, size=16)
+            registry.track(block)
+            return block.name
+        ''',
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def test_inline_suppression_and_justified_trailer(tmp_path):
+    path = tmp_path / "src/repro/api/s.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        textwrap.dedent(
+            '''
+            """Module."""
+
+            def precondition(n):
+                """Suppressed trailer and preceding-line forms."""
+                if n < 1:
+                    raise ValueError("n")  # repro-lint: disable=RL003 -- config precondition
+                # repro-lint: disable=RL003 -- second form
+                raise ValueError("other")
+            '''
+        )
+    )
+    result = lint_tree(tmp_path, select=["RL003"])
+    assert result.findings == []
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    path = tmp_path / "src/repro/api/s.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        textwrap.dedent(
+            '''
+            """Module."""
+
+            def precondition(n):
+                """Suppressing the wrong rule does not help."""
+                raise ValueError("n")  # repro-lint: disable=RL005
+            '''
+        )
+    )
+    result = lint_tree(tmp_path, select=["RL003"])
+    assert len(result.findings) == 1
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def test_baseline_suppresses_and_detects_stale(tmp_path):
+    path = tmp_path / "src/repro/api/s.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        textwrap.dedent(
+            '''
+            """Module."""
+
+            def precondition(n):
+                """Known, accepted finding."""
+                raise ValueError("n")
+            '''
+        )
+    )
+    result = lint_tree(tmp_path, select=["RL003"])
+    assert len(result.findings) == 1
+    accepted = result.findings[0]
+
+    entry = BaselineEntry(
+        rule=accepted.rule,
+        path=accepted.path,
+        symbol=accepted.symbol,
+        message=accepted.message,
+        justification="test fixture",
+        line=accepted.line + 40,  # baseline matching ignores line drift
+    )
+    result = lint_tree(tmp_path, select=["RL003"], baseline=[entry])
+    assert result.findings == [] and result.ok
+    assert len(result.baselined) == 1
+
+    stale = BaselineEntry(
+        rule="RL003",
+        path="src/repro/api/gone.py",
+        symbol="removed",
+        message="no longer exists",
+        justification="stale",
+    )
+    result = lint_tree(tmp_path, select=["RL003"], baseline=[entry, stale])
+    assert not result.ok
+    assert result.stale_baseline == [stale]
+
+
+def test_partial_runs_do_not_mark_out_of_scope_entries_stale(tmp_path):
+    """--select / sub-path runs can't re-find every entry; only entries
+    for selected rules under the requested paths may go stale."""
+    api = tmp_path / "src/repro/api"
+    server = tmp_path / "src/repro/server"
+    api.mkdir(parents=True)
+    server.mkdir(parents=True)
+    (api / "a.py").write_text('"""Module."""\n')
+    (server / "b.py").write_text('"""Module."""\n')
+    server_entry = BaselineEntry(
+        rule="RL003",
+        path="src/repro/server/b.py",
+        symbol="gone",
+        message="removed finding",
+        justification="x",
+    )
+    # Out-of-scope path: not stale.
+    result = Linter(tmp_path, select=["RL003"], baseline=[server_entry]).lint([api])
+    assert result.ok and result.stale_baseline == []
+    # Unselected rule: not stale.
+    result = Linter(tmp_path, select=["RL001"], baseline=[server_entry]).lint(
+        [tmp_path]
+    )
+    assert result.ok and result.stale_baseline == []
+    # Full-scope run with the rule selected: stale.
+    result = Linter(tmp_path, select=["RL003"], baseline=[server_entry]).lint(
+        [tmp_path]
+    )
+    assert not result.ok and result.stale_baseline == [server_entry]
+
+
+def test_committed_baseline_matches_current_tree():
+    """Pin the checked-in baseline: the real src/ tree must lint clean
+    against it, every entry must still match (no stale rot), and every
+    entry must carry a human justification."""
+    baseline_path = REPO_ROOT / "tools" / "repro_lint" / "baseline.json"
+    baseline = load_baseline(baseline_path)
+    for entry in baseline:
+        assert entry.justification and "TODO" not in entry.justification, (
+            f"baseline entry {entry.rule} {entry.path} [{entry.symbol}] "
+            "needs a real justification"
+        )
+    result = Linter(REPO_ROOT, baseline=baseline).lint([REPO_ROOT / "src"])
+    diff = "\n".join(
+        [f"NEW: {f.render()}" for f in result.findings]
+        + [
+            f"STALE: {e.rule} {e.path} [{e.symbol}] {e.message}"
+            for e in result.stale_baseline
+        ]
+        + [f"ERROR: {e}" for e in result.errors]
+    )
+    assert result.ok, f"src/ no longer matches the committed baseline:\n{diff}"
+
+
+def test_committed_baseline_is_all_rl003_preconditions():
+    """The current baseline is precisely the documented precondition
+    ValueErrors plus the serve() cleanup re-raise; growing it is a
+    deliberate act that must show up in review."""
+    baseline = load_baseline(REPO_ROOT / "tools" / "repro_lint" / "baseline.json")
+    keys = {(e.rule, e.path, e.symbol) for e in baseline}
+    assert keys == {
+        ("RL003", "src/repro/api/facade.py", "MetaCache.__init__"),
+        ("RL003", "src/repro/api/facade.py", "MetaCache.extend"),
+        ("RL003", "src/repro/api/facade.py", "MetaCache.serve"),
+        ("RL003", "src/repro/api/session.py", "iter_batches"),
+        ("RL003", "src/repro/api/session.py", "QuerySession.__init__"),
+        ("RL003", "src/repro/server/batcher.py", "MicroBatcher.__init__"),
+        ("RL003", "src/repro/server/stats.py", "LatencyWindow.__init__"),
+    }
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    path = tmp_path / "src/repro/api/ok.py"
+    path.parent.mkdir(parents=True)
+    path.write_text('"""Module."""\n')
+    code = lint_main([str(tmp_path), "--root", str(tmp_path), "--no-baseline"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_violation_exits_one_with_location(tmp_path, capsys):
+    path = tmp_path / "src/repro/api/bad.py"
+    path.parent.mkdir(parents=True)
+    path.write_text('"""Module."""\n\ndef f():\n    pass\n')
+    code = lint_main([str(tmp_path), "--root", str(tmp_path), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "src/repro/api/bad.py:3" in out and "RL000" in out
+
+
+def test_cli_repo_src_is_clean():
+    code = lint_main([str(REPO_ROOT / "src"), "--root", str(REPO_ROOT)])
+    assert code == 0

@@ -1,0 +1,6 @@
+"""Developer tooling for the repository (not shipped with the package).
+
+``tools.repro_lint`` is the AST-based contract checker; the other
+modules are standalone scripts (round-trip gate, golden regeneration)
+run directly by CI.
+"""

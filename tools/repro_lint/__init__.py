@@ -1,0 +1,27 @@
+"""repro-lint: AST-based contract checker for this repository.
+
+The repo's correctness story rests on invariants that were each
+discovered the hard way and fixed by hand -- exact int64 accumulation
+(PR 3), typed ``MetaCacheError`` boundaries (PR 5), no per-read Python
+loops in the packed hot path (PR 7), spawn-safe multiprocessing
+payloads and explicit shared-memory lifetimes (PR 2/4), a non-blocking
+event loop in the server (PR 5).  ``repro-lint`` machine-enforces them:
+a small visitor framework (:mod:`tools.repro_lint.core`), a rule
+registry (:mod:`tools.repro_lint.registry`), one module per rule under
+:mod:`tools.repro_lint.rules`, inline ``# repro-lint: disable=RULE``
+suppressions, and a checked-in justified baseline
+(``tools/repro_lint/baseline.json``).
+
+Entry points::
+
+    python -m tools.repro_lint src/        # CI and local runs
+    metacache-repro lint                   # from a repo checkout
+
+See ``docs/dev/static-analysis.md`` for the rule catalog and how to
+add a rule.
+"""
+
+from tools.repro_lint.core import Finding, Linter, Module
+from tools.repro_lint.registry import all_rules, get_rule, register
+
+__all__ = ["Finding", "Linter", "Module", "all_rules", "get_rule", "register"]

@@ -1,0 +1,118 @@
+"""Command-line front end for repro-lint.
+
+Runs as ``python -m tools.repro_lint [paths...]`` (and behind
+``metacache-repro lint``).  Paths default to ``src/`` relative to the
+repository root, which is derived from this file's location so the
+command works from any working directory inside a checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.repro_lint.core import Linter, dump_baseline, load_baseline
+from tools.repro_lint.registry import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate so tests and docs can introspect it)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST-based contract checker for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/ under the repo root)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, e.g. --select RL003)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of accepted findings (default: the checked-in one)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="root used to relativise paths (default: the repo checkout)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    paths = args.paths or [args.root / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    baseline = [] if (args.no_baseline or args.write_baseline) else load_baseline(args.baseline)
+    linter = Linter(root=args.root, select=args.select, baseline=baseline)
+    result = linter.lint(paths)
+
+    if args.write_baseline:
+        args.baseline.write_text(dump_baseline(result.findings), encoding="utf-8")
+        print(f"wrote {len(result.findings)} entries to {args.baseline}")
+        return 0
+
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in result.findings:
+        print(finding.render())
+    for entry in result.stale_baseline:
+        print(
+            f"stale baseline entry (fix the baseline): {entry.rule} {entry.path} "
+            f"[{entry.symbol}] {entry.message}",
+            file=sys.stderr,
+        )
+
+    if result.ok:
+        suffix = f" ({len(result.baselined)} baselined)" if result.baselined else ""
+        print(f"repro-lint: clean{suffix}")
+        return 0
+    print(
+        f"repro-lint: {len(result.findings)} finding(s), "
+        f"{len(result.stale_baseline)} stale baseline entr(y/ies), "
+        f"{len(result.errors)} error(s)",
+        file=sys.stderr,
+    )
+    return 1

@@ -1,0 +1,315 @@
+"""Framework core: findings, parsed modules, suppressions, baseline.
+
+The moving parts are deliberately small:
+
+``Finding``
+    One diagnostic: rule id, repo-relative path, position, message and
+    the qualified name of the enclosing symbol (used for baseline
+    matching so entries survive unrelated line drift).
+
+``Module``
+    One parsed source file handed to each rule: the AST, the raw
+    source, split lines, and the repo-relative posix path that rules
+    scope themselves by.
+
+``Linter``
+    Orchestrates a run: collect files, parse, dispatch to rules,
+    strip ``# repro-lint: disable=...`` suppressed findings, then
+    partition the rest against the baseline.  Baseline entries that no
+    longer match anything are reported as *stale* so the file cannot
+    silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?|all)\s*(?:--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = "<module>"
+
+    def render(self) -> str:
+        """Format as ``path:line:col: RLxxx message [symbol]``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message} [{self.symbol}]"
+
+    def baseline_key(self) -> tuple[str, str, str, str]:
+        """Identity used for baseline matching (line-number insensitive)."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+
+@dataclass
+class Module:
+    """A parsed source file plus the context rules need to scope themselves."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "Module":
+        """Parse ``path``, computing its repo-relative posix path from ``root``."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        rel = os.path.relpath(path, root)
+        relpath = str(path) if rel.startswith("..") else rel.replace(os.sep, "/")
+        return cls(
+            path=path,
+            relpath=relpath,
+            tree=tree,
+            source=source,
+            lines=source.splitlines(),
+        )
+
+    def suppressed_rules(self, line: int) -> set[str] | None:
+        """Rules disabled at ``line`` (1-based), or None when unsuppressed.
+
+        A ``# repro-lint: disable=...`` trailer applies to its own line; a
+        line that is *only* a suppression comment applies to the next
+        line instead, so block statements can be annotated above.
+        Returns ``{"all"}`` for blanket suppressions.
+        """
+        for candidate, own_line_only in ((line, False), (line - 1, True)):
+            if not 1 <= candidate <= len(self.lines):
+                continue
+            text = self.lines[candidate - 1]
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            if own_line_only and text.strip() != text[match.start() :].strip():
+                continue  # previous line has code of its own; trailer stays there
+            spec = match.group(1).strip()
+            if spec == "all":
+                return {"all"}
+            return {part.strip() for part in spec.split(",") if part.strip()}
+        return None
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding, carried with its human justification."""
+
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str
+    line: int = 0
+
+    def key(self) -> tuple[str, str, str, str]:
+        """Matching identity, mirroring :meth:`Finding.baseline_key`."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                symbol=raw.get("symbol", "<module>"),
+                message=raw["message"],
+                justification=raw.get("justification", ""),
+                line=raw.get("line", 0),
+            )
+        )
+    return entries
+
+
+def dump_baseline(findings: Sequence[Finding]) -> str:
+    """Serialise findings as a fresh baseline (justifications left blank)."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+            "line": f.line,
+            "justification": "TODO: justify or fix",
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    return json.dumps({"entries": entries}, indent=2) + "\n"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one run, already partitioned for reporting."""
+
+    findings: list[Finding]
+    baselined: list[Finding]
+    stale_baseline: list[BaselineEntry]
+    errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unsuppressed, unbaselined, or stale remains."""
+        return not self.findings and not self.stale_baseline and not self.errors
+
+
+class Linter:
+    """Run the registered rules over a file tree."""
+
+    def __init__(
+        self,
+        root: Path,
+        select: Sequence[str] | None = None,
+        baseline: Sequence[BaselineEntry] = (),
+    ) -> None:
+        from tools.repro_lint.registry import all_rules
+
+        self.root = root
+        rules = all_rules()
+        if select:
+            wanted = set(select)
+            unknown = wanted - {r.rule_id for r in rules}
+            if unknown:
+                raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+            rules = [r for r in rules if r.rule_id in wanted]
+        self.rules = rules
+        self.baseline = list(baseline)
+
+    def lint(self, paths: Iterable[Path]) -> LintResult:
+        """Lint every ``.py`` file under ``paths`` and partition the findings."""
+        paths = list(paths)
+        raw: list[Finding] = []
+        errors: list[str] = []
+        for path in self._collect(paths):
+            try:
+                module = Module.parse(path, self.root)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                errors.append(f"{path}: failed to parse: {exc}")
+                continue
+            for rule in self.rules:
+                if not rule.applies(module):
+                    continue
+                for finding in rule.check(module):
+                    suppressed = module.suppressed_rules(finding.line)
+                    if suppressed and ("all" in suppressed or finding.rule in suppressed):
+                        continue
+                    raw.append(finding)
+
+        matched_keys: set[tuple[str, str, str, str]] = set()
+        findings: list[Finding] = []
+        baselined: list[Finding] = []
+        baseline_keys = {entry.key() for entry in self.baseline}
+        for finding in raw:
+            if finding.baseline_key() in baseline_keys:
+                matched_keys.add(finding.baseline_key())
+                baselined.append(finding)
+            else:
+                findings.append(finding)
+        # Staleness is only decidable for entries this run could have
+        # re-found: partial runs (--select, a sub-path) must not damn
+        # entries for unselected rules or paths outside the requested
+        # tree.  A requested-but-deleted file's entries DO go stale.
+        selected_ids = {rule.rule_id for rule in self.rules}
+        stale = [
+            e
+            for e in self.baseline
+            if e.key() not in matched_keys
+            and e.rule in selected_ids
+            and self._covered(e.path, paths)
+        ]
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return LintResult(
+            findings=findings, baselined=baselined, stale_baseline=stale, errors=errors
+        )
+
+    def _covered(self, entry_path: str, paths: Sequence[Path]) -> bool:
+        """Whether a baseline entry's path lies under any requested path."""
+        for path in paths:
+            rel = os.path.relpath(path, self.root)
+            if rel.startswith(".."):
+                rel = str(path)
+            rel = rel.replace(os.sep, "/")
+            if rel in (".", "") or entry_path == rel or entry_path.startswith(rel + "/"):
+                return True
+        return False
+
+    @staticmethod
+    def _collect(paths: Iterable[Path]) -> Iterator[Path]:
+        for path in paths:
+            if path.is_dir():
+                yield from sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                yield path
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Resolve ``a.b.c`` / ``name`` expressions to a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def qualified_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Yield ``(qualname, funcdef, enclosing_class)`` for every top-level
+    function and every method of a top-level class (nested defs excluded)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item, node
+
+
+def enclosing_symbol(tree: ast.Module, line: int) -> str:
+    """Qualified name of the innermost def/class containing ``line``.
+
+    Returns dotted names like ``LatencyWindow.__init__`` so baseline
+    entries stay readable and stable under unrelated line drift.
+    """
+    best = "<module>"
+    best_span = float("inf")
+
+    def walk(nodes: Iterable[ast.stmt], prefix: str) -> None:
+        nonlocal best, best_span
+        for node in nodes:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            qualname = f"{prefix}.{node.name}" if prefix else node.name
+            end = node.end_lineno or node.lineno
+            if node.lineno <= line <= end and end - node.lineno < best_span:
+                best, best_span = qualname, end - node.lineno
+            walk(node.body, qualname)
+
+    walk(tree.body, "")
+    return best

@@ -1,0 +1,67 @@
+"""The rule registry: one decorator, one lookup, stable ordering.
+
+Rules are plain classes with a ``rule_id`` (``"RL003"``), a short
+``name``, a ``rationale`` string tying the rule to the incident/PR
+that motivated it, an ``applies(module)`` scope predicate and a
+``check(module)`` generator of findings.  Registering is one
+decorator::
+
+    @register
+    class TypedErrors:
+        rule_id = "RL003"
+        ...
+
+Importing :mod:`tools.repro_lint.rules` populates the registry; the
+CLI and the tests only ever go through :func:`all_rules` /
+:func:`get_rule`, so rule modules stay independent of each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.repro_lint.core import Finding, Module
+
+
+class Rule(Protocol):
+    """The interface every registered rule instance satisfies."""
+
+    rule_id: str
+    name: str
+    rationale: str
+
+    def applies(self, module: "Module") -> bool: ...
+
+    def check(self, module: "Module") -> Iterable["Finding"]: ...
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register one rule.
+
+    Duplicate rule ids are a programming error and fail loudly at
+    import time rather than shadowing each other silently.
+    """
+    rule = cls()
+    rule_id = rule.rule_id
+    if rule_id in _RULES:
+        raise RuntimeError(f"duplicate rule id {rule_id}")
+    _RULES[rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by rule id (RL000, RL001, ...)."""
+    import tools.repro_lint.rules  # noqa: F401 - populates the registry
+
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id; raises ``KeyError`` for unknown ids."""
+    import tools.repro_lint.rules  # noqa: F401 - populates the registry
+
+    return _RULES[rule_id]

@@ -1,0 +1,94 @@
+"""RL000: public API surfaces must carry docstrings.
+
+Folded in from the former standalone ``tools/check_docstrings.py``
+script so the repository has a single analyzer entry point.  Same
+contract as before: every module needs a module docstring, and every
+public class, function, and method (dunders and ``_``-prefixed names
+exempt, ``...``-stub bodies exempt) needs its own.  The facade in
+``api/``, the process-pool machinery in ``parallel/``, and the serving
+layer in ``server/`` are the user-facing surfaces held to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.core import Finding, Module
+from tools.repro_lint.registry import register
+
+SCOPES = ("src/repro/api/", "src/repro/parallel/", "src/repro/server/")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """``def f(): ...`` overload/protocol stubs are exempt."""
+    body = node.body
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+@register
+class Docstrings:
+    """Require docstrings on modules and public classes/functions/methods."""
+
+    rule_id = "RL000"
+    name = "public-docstrings"
+    rationale = (
+        "The api/, parallel/, and server/ packages are the documented "
+        "surface; missing docstrings there are doc regressions (formerly "
+        "tools/check_docstrings.py)."
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Only the documented public packages are in scope."""
+        return module.relpath.startswith(SCOPES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Emit one finding per missing docstring."""
+        if ast.get_docstring(module.tree) is None:
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=1,
+                col=0,
+                message="module is missing a docstring",
+                symbol="<module>",
+            )
+        yield from self._walk(module, module.tree.body, prefix="")
+
+    def _walk(
+        self, module: Module, body: list[ast.stmt], prefix: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                qualname = f"{prefix}.{node.name}" if prefix else node.name
+                if ast.get_docstring(node) is None:
+                    yield self._missing(module, node, "class", qualname)
+                yield from self._walk(module, node.body, prefix=qualname)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(node.name) or _is_stub(node):
+                    continue  # dunders and helpers exempt; no recursion into defs
+                qualname = f"{prefix}.{node.name}" if prefix else node.name
+                if ast.get_docstring(node) is None:
+                    kind = "method" if prefix else "function"
+                    yield self._missing(module, node, kind, qualname)
+
+    def _missing(self, module: Module, node: ast.stmt, kind: str, qualname: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=node.lineno,
+            col=node.col_offset,
+            message=f"public {kind} is missing a docstring",
+            symbol=qualname,
+        )

@@ -1,0 +1,96 @@
+"""RL001: no per-read Python loops inside kernel modules.
+
+The packed hot path (PR 7) exists because iterating reads one at a
+time in Python is 10-100x slower than the batched NumPy kernels the
+paper's GPU design maps onto.  This rule flags ``for``/``while``
+statements that iterate read-shaped data inside the designated kernel
+modules.  Pinned legacy references -- functions named ``*_loop`` such
+as ``sketch_reads_loop`` -- are exempt: they are the per-read oracles
+the equivalence harness compares kernels against.
+
+Comprehensions are deliberately *not* flagged: thin adapters such as
+``PackedReads.from_reads`` legitimately use one comprehension at the
+batch boundary; the contract bans loop *statements* in kernel code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.repro_lint.core import Finding, Module
+from tools.repro_lint.registry import register
+
+KERNEL_SCOPES = (
+    "src/repro/hashing/",
+    "src/repro/pipeline/packed.py",
+    "src/repro/core/query.py",
+)
+
+_READ_NAME = re.compile(r"(read|seq|window|mate|record|sketch)", re.IGNORECASE)
+
+
+def _names(node: ast.AST | None) -> Iterator[str]:
+    if node is None:
+        return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _iterates_reads(node: ast.For | ast.AsyncFor | ast.While) -> bool:
+    if isinstance(node, ast.While):
+        return any(_READ_NAME.search(name) for name in _names(node.test))
+    return any(
+        _READ_NAME.search(name) for name in (*_names(node.target), *_names(node.iter))
+    )
+
+
+@register
+class HotPathLoop:
+    """Flag read-iterating loop statements in kernel modules."""
+
+    rule_id = "RL001"
+    name = "hot-path-loop"
+    rationale = (
+        "PR 7 banned per-read Python loops from the packed kernels; batched "
+        "array ops are the whole point of the MetaCache-GPU design."
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Only the designated kernel modules are in scope."""
+        return module.relpath.startswith(KERNEL_SCOPES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Walk each scope, tracking the ``*_loop`` exemption down the tree."""
+        for node in module.tree.body:
+            yield from self._visit(module, node, exempt=False, symbol="<module>")
+
+    def _visit(
+        self, module: Module, node: ast.AST, exempt: bool, symbol: str
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            exempt = exempt or node.name.endswith("_loop")
+            symbol = node.name
+        elif isinstance(node, ast.ClassDef):
+            symbol = node.name
+        elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            if not exempt and _iterates_reads(node):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "per-read loop statement in a kernel module; use the "
+                        "batched array kernels (or name the function *_loop "
+                        "if it is a pinned legacy reference)"
+                    ),
+                    symbol=symbol,
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                yield from self._visit(module, child, exempt, symbol)

@@ -1,0 +1,131 @@
+"""RL002: no float accumulation on count/score paths.
+
+PR 3's exactness fix: ``np.bincount(..., weights=...)`` accumulates in
+float64 and silently loses integer exactness past 2**53, which is how
+the reproduction originally diverged from MetaCache's integer vote
+counters.  The replacement idiom is an int64 scatter-add
+(``np.add.at`` on an ``int64`` array).  This rule flags
+
+* any ``bincount(...)`` call with a non-None ``weights=`` keyword, and
+* ``cumsum``/``sum`` calls given a float ``dtype=`` whose result or
+  arguments look like count/score data (names matching
+  count/score/hit/weight/vote/tally).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.repro_lint.core import Finding, Module, dotted_name
+from tools.repro_lint.registry import register
+
+_COUNTER_NAME = re.compile(r"(count|score|hit|weight|votes?|tally)", re.IGNORECASE)
+
+
+def _call_func_name(call: ast.Call) -> str:
+    dotted = dotted_name(call.func)
+    if dotted is not None:
+        return dotted.rsplit(".", 1)[-1]
+    return ""
+
+
+def _keyword(call: ast.Call, name: str) -> ast.keyword | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def _is_float_dtype(node: ast.expr) -> bool:
+    """True for ``np.float64`` / ``"float32"`` / ``float`` dtype expressions."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return "float" in node.value
+    dotted = dotted_name(node)
+    return dotted is not None and "float" in dotted.rsplit(".", 1)[-1]
+
+
+def _looks_like_counter(call: ast.Call, targets: list[ast.expr]) -> bool:
+    names: list[str] = []
+    for target in targets:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+    for arg in call.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+    return any(_COUNTER_NAME.search(name) for name in names)
+
+
+@register
+class FloatAccumulation:
+    """Flag float-dtype accumulation feeding count/score paths."""
+
+    rule_id = "RL002"
+    name = "float-accumulation"
+    rationale = (
+        "PR 3 replaced float64 bincount(weights=) with int64 np.add.at "
+        "scatter-adds; float accumulators lose exactness past 2**53."
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Exactness is a whole-tree contract: every src/ module is in scope."""
+        return True
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag weighted bincounts anywhere, float cumsum/sum on counters."""
+        from tools.repro_lint.core import enclosing_symbol
+
+        targets_by_call: dict[int, list[ast.expr]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                targets_by_call[id(node.value)] = node.targets
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            call = node
+            targets = targets_by_call.get(id(call), [])
+
+            func = _call_func_name(call)
+            if func == "bincount":
+                weights = _keyword(call, "weights")
+                if weights is not None and not (
+                    isinstance(weights.value, ast.Constant) and weights.value.value is None
+                ):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            "bincount(weights=...) accumulates in float64 and "
+                            "loses exactness past 2**53; use an int64 "
+                            "np.add.at scatter-add"
+                        ),
+                        symbol=enclosing_symbol(module.tree, call.lineno),
+                    )
+            elif func in ("cumsum", "sum"):
+                dtype = _keyword(call, "dtype")
+                if (
+                    dtype is not None
+                    and _is_float_dtype(dtype.value)
+                    and _looks_like_counter(call, targets)
+                ):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"float-dtype {func} feeding a count/score path; "
+                            "accumulate in int64 for exactness"
+                        ),
+                        symbol=enclosing_symbol(module.tree, call.lineno),
+                    )

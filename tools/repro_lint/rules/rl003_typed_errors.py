@@ -1,0 +1,195 @@
+"""RL003: public boundary functions raise MetaCacheError subclasses only.
+
+PR 5's contract: callers of the ``api/`` facade, the server, and the
+sequence parsers catch ``MetaCacheError`` and get everything -- a bare
+``ValueError`` escaping a parser meant a crashed worker instead of a
+per-read error record.  This rule inspects *public* module-level
+functions and public-class methods in the boundary modules and flags
+
+* ``raise X(...)`` / ``raise X`` where ``X`` is a bare stdlib
+  exception name (``ValueError``, ``RuntimeError``, ...), and
+* a bare ``raise`` re-raising inside an ``except`` handler whose
+  caught types are all stdlib exceptions (the original leaks through).
+
+``NotImplementedError`` (abstract methods) and ``BrokenPipeError``
+(deliberate downstream-closed signalling) are excluded.  Typed errors
+that *subclass* both ``MetaCacheError`` and a stdlib base
+(``InvalidReadError(MetaCacheError, ValueError)``) are the sanctioned
+way to keep stdlib ``except`` clauses working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.core import Finding, Module
+from tools.repro_lint.registry import register
+
+SCOPES = (
+    "src/repro/api/",
+    "src/repro/server/",
+    "src/repro/genomics/io.py",
+    "src/repro/genomics/fasta.py",
+    "src/repro/genomics/fastq.py",
+)
+
+# Stdlib exceptions that must not cross the public boundary untyped.
+DENY = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "EOFError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ZeroDivisionError",
+        "ArithmeticError",
+        "AttributeError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+# Dunders that are part of the public protocol surface of a class.
+_PUBLIC_DUNDERS = frozenset(
+    {
+        "__init__",
+        "__post_init__",
+        "__new__",
+        "__call__",
+        "__enter__",
+        "__exit__",
+        "__iter__",
+        "__next__",
+    }
+)
+
+
+def _is_public_name(name: str) -> bool:
+    return not name.startswith("_") or name in _PUBLIC_DUNDERS
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    type_ = handler.type
+    if type_ is None:
+        return ["BaseException"]
+    elts = type_.elts if isinstance(type_, ast.Tuple) else [type_]
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+        else:
+            names.append("")
+    return names
+
+
+@register
+class TypedErrors:
+    """Flag untyped stdlib raises escaping the public boundary."""
+
+    rule_id = "RL003"
+    name = "typed-errors"
+    rationale = (
+        "PR 5: api/, server/, and the sequence parsers promise callers that "
+        "catching MetaCacheError catches everything; bare stdlib raises "
+        "crash workers instead of producing per-read error records."
+    )
+
+    def applies(self, module: Module) -> bool:
+        """The typed-error contract covers the documented boundary modules."""
+        return module.relpath.startswith(SCOPES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Inspect each public function/method body for untyped raises."""
+        from tools.repro_lint.core import qualified_functions
+
+        for qualname, func, _cls in qualified_functions(module.tree):
+            if not _is_public_name(func.name):
+                continue
+            yield from self._check_function(module, qualname, func)
+
+    def _check_function(
+        self,
+        module: Module,
+        qualname: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        # Walk the body but do not descend into nested defs: their raises
+        # are internal until they cross this boundary themselves.
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(module, qualname, node)
+            stack.extend(ast.iter_child_nodes(node))
+        # Bare re-raises need the enclosing except-handler's caught types;
+        # a second, handler-tracking walk supplies that context.
+        yield from self._check_reraises(module, qualname, list(func.body), handler=None)
+
+    def _check_raise(
+        self, module: Module, qualname: str, node: ast.Raise
+    ) -> Iterator[Finding]:
+        if node.exc is None:
+            return  # bare re-raise handled by _check_reraises with context
+        name = _raised_name(node)
+        if name in DENY:
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"public boundary raises bare {name}; raise a "
+                    "MetaCacheError subclass (see src/repro/errors.py)"
+                ),
+                symbol=qualname,
+            )
+
+    def _check_reraises(
+        self,
+        module: Module,
+        qualname: str,
+        body: list[ast.stmt] | list[ast.AST],
+        handler: ast.ExceptHandler | None,
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Raise) and node.exc is None and handler is not None:
+                names = _handler_names(handler)
+                if names and all(name in DENY for name in names):
+                    caught = ", ".join(names)
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"bare re-raise leaks caught stdlib {caught} through "
+                            "the public boundary; wrap it in a MetaCacheError "
+                            "subclass"
+                        ),
+                        symbol=qualname,
+                    )
+            next_handler = node if isinstance(node, ast.ExceptHandler) else handler
+            children = [c for c in ast.iter_child_nodes(node)]
+            yield from self._check_reraises(module, qualname, children, next_handler)

@@ -1,0 +1,131 @@
+"""RL005: no blocking calls directly inside server coroutines.
+
+The serving layer (PR 5) is a single asyncio event loop multiplexing
+every connected client; one blocking call inside an ``async def``
+stalls *all* in-flight requests, which surfaces as tail-latency
+cliffs under load rather than as a test failure.  This rule flags
+known-blocking calls lexically inside ``async def`` bodies in
+``server/``: ``time.sleep``, gzip/zlib (de)compression, ``open`` and
+socket I/O, classify dispatch (CPU-bound kernel work), blocking
+``shutdown(wait=True)`` / ``.result()`` / ``.join()``.  The sanctioned
+escape hatch is ``loop.run_in_executor`` (the offload itself is
+awaitable, so it never matches), or a nested *sync* ``def`` that the
+coroutine submits to the executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.core import Finding, Module, dotted_name
+from tools.repro_lint.registry import register
+
+SCOPE = "src/repro/server/"
+
+# Dotted names that block the event loop outright.
+_BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "gzip.decompress",
+        "gzip.compress",
+        "gzip.open",
+        "zlib.decompress",
+        "zlib.compress",
+        "socket.create_connection",
+    }
+)
+
+# Attribute/bare-call names that block regardless of the receiver.
+# (Note: .result()/.join() are NOT here -- str.join and completed
+# asyncio futures would false-positive; those stay human-reviewed.)
+_BLOCKING_TAILS = frozenset(
+    {"classify", "classify_batch", "classify_files", "classify_iter"}
+)
+
+_BLOCKING_REASON = {
+    "classify": "classify dispatch is CPU-bound kernel work",
+    "classify_batch": "classify dispatch is CPU-bound kernel work",
+    "classify_files": "classify dispatch is CPU-bound kernel work",
+    "classify_iter": "classify dispatch is CPU-bound kernel work",
+}
+
+
+def _shutdown_blocks(call: ast.Call) -> bool:
+    """``executor.shutdown()`` blocks unless called with ``wait=False``."""
+    for kw in call.keywords:
+        if kw.arg == "wait":
+            return not (isinstance(kw.value, ast.Constant) and kw.value.value is False)
+    return True
+
+
+@register
+class AsyncHygiene:
+    """Flag blocking calls lexically inside server coroutine bodies."""
+
+    rule_id = "RL005"
+    name = "async-hygiene"
+    rationale = (
+        "PR 5: the server is one asyncio event loop; a blocking call in a "
+        "coroutine stalls every in-flight request. Offload via "
+        "loop.run_in_executor instead."
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Only the asyncio serving layer is in scope."""
+        return module.relpath.startswith(SCOPE)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Visit every def, tracking whether we are inside an async body."""
+        for node in module.tree.body:
+            yield from self._visit(module, node, in_async=False, symbol="<module>")
+
+    def _visit(
+        self, module: Module, node: ast.AST, in_async: bool, symbol: str
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.AsyncFunctionDef):
+            in_async, symbol = True, node.name
+        elif isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            # A nested sync def is not executed on the loop by definition
+            # here -- it is what gets handed to run_in_executor.
+            in_async = False
+            if isinstance(node, ast.FunctionDef):
+                symbol = node.name
+        elif isinstance(node, ast.ClassDef):
+            symbol = node.name
+        elif in_async and isinstance(node, ast.Call):
+            reason = self._blocking_reason(node)
+            if reason is not None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"blocking call in async def: {reason}; offload via "
+                        "loop.run_in_executor"
+                    ),
+                    symbol=symbol,
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child, in_async, symbol)
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call) -> str | None:
+        dotted = dotted_name(call.func)
+        if dotted in _BLOCKING_DOTTED:
+            return f"{dotted}() blocks the event loop"
+        if dotted == "open" or (
+            isinstance(call.func, ast.Name) and call.func.id == "open"
+        ):
+            return "synchronous file I/O (open) blocks the event loop"
+        tail = None
+        if isinstance(call.func, ast.Attribute):
+            tail = call.func.attr
+        elif isinstance(call.func, ast.Name):
+            tail = call.func.id
+        if tail in _BLOCKING_TAILS:
+            return _BLOCKING_REASON[tail]
+        if tail == "shutdown" and _shutdown_blocks(call):
+            return "shutdown(wait=True) blocks until workers drain"
+        return None
