@@ -42,6 +42,8 @@ from repro.errors import DatabaseFormatError, InvalidMappingError
 from repro.genomics.alphabet import encode_sequence
 from repro.gpu.device import Device
 from repro.gpu.topology import MultiGpuNode
+from repro.shard.plan import ShardPlan
+from repro.shard.router import ShardRouter
 from repro.taxonomy.ncbi import load_ncbi_dump
 from repro.taxonomy.tree import Taxonomy
 from repro.util.timer import Timer
@@ -121,11 +123,13 @@ class MetaCache:
         *,
         build_seconds: float = 0.0,
         workers: int = 1,
+        router: "ShardRouter | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.database = database
         self.workers = workers
+        self._router = router
         self._build_seconds = build_seconds
         self._default_session: QuerySession | None = None
         # weak refs: tracking sessions for close() must not keep every
@@ -142,6 +146,8 @@ class MetaCache:
         devices: Sequence[Device] | None = None,
         workers: int = 1,
         mmap: bool = False,
+        shards: int | None = None,
+        replicas: int = 1,
     ) -> "MetaCache":
         """Load a saved database directory (condensed query layout).
 
@@ -161,13 +167,44 @@ class MetaCache:
         directories warn and load through the rebuild path; upgrade
         them with :meth:`convert` or ``metacache-repro convert``.
 
+        ``shards=N`` serves the directory through a
+        :class:`~repro.shard.ShardRouter` instead of querying it
+        in-process: the database's partitions are planned into N
+        disjoint shards, each served by ``replicas`` worker processes
+        that memory-map the directory and query only their assigned
+        partitions, with per-shard candidate runs merged back so
+        classification output stays byte-identical (see
+        :mod:`repro.shard`).  Requires a format-v2 directory, implies
+        ``mmap=True``, and is mutually exclusive with ``workers > 1``
+        (the router is already one process per shard replica).  A
+        replica crash degrades the affected shard (respawned with
+        backoff) without failing requests.  ``close()`` shuts the
+        router down.
+
         Raises :class:`repro.errors.DatabaseFormatError` when the
         directory is missing, truncated, or has the wrong version.
         """
+        router = None
+        if shards is not None:
+            if shards < 1:
+                raise ValueError("shards must be >= 1")
+            if workers > 1:
+                raise ValueError(
+                    "shards and workers>1 are mutually exclusive: the shard "
+                    "router already runs one process per shard replica"
+                )
+            mmap = True  # replicas mmap-attach; the handle must match
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if replicas > 1 and shards is None:
+            raise ValueError("replicas requires shards")
         with _translate_db_errors(path):
             with Timer() as t:
                 db = load_database(path, devices=devices, mmap=mmap)
-        return cls(db, build_seconds=t.elapsed, workers=workers)
+                if shards is not None:
+                    plan = ShardPlan.from_directory(path, shards)
+                    router = ShardRouter(plan, replicas=replicas)
+        return cls(db, build_seconds=t.elapsed, workers=workers, router=router)
 
     @classmethod
     def convert(
@@ -342,6 +379,12 @@ class MetaCache:
             when neither ``refs`` nor ``references`` is given, or
             ``refs`` is given without ``mapping``.
         """
+        if self._router is not None:
+            raise ValueError(
+                "cannot extend a sharded handle: the shard replicas serve "
+                "the saved directory, which extend does not rewrite -- "
+                "extend an unsharded handle, save, and reopen with shards"
+            )
         if refs is None and references is None:
             raise ValueError("extend needs refs (files) and/or references")
         if refs is not None and mapping is None:
@@ -395,13 +438,16 @@ class MetaCache:
         ``workers`` overrides this handle's default fan-out for the
         new session only.  Sessions with ``workers > 1`` own a worker
         pool once they first fan out; :meth:`close` on this handle
-        shuts down every pool its sessions started.
+        shuts down every pool its sessions started.  A handle opened
+        with ``shards=N`` hands every session its shard router
+        (shared; the handle keeps ownership).
         """
         session = QuerySession(
             self.database,
             params=params,
             node=node,
             workers=self.workers if workers is None else workers,
+            router=self._router,
         )
         self._sessions.add(session)
         return session
@@ -517,6 +563,11 @@ class MetaCache:
         return self.database.n_partitions
 
     @property
+    def router(self) -> "ShardRouter | None":
+        """The shard router, when opened with ``shards=N`` (else None)."""
+        return self._router
+
+    @property
     def total_windows(self) -> int:
         """Total reference windows across all targets."""
         return self.database.total_windows
@@ -550,10 +601,14 @@ class MetaCache:
         Safe to call twice; sessions created by :meth:`session` have
         their multi-process engines shut down here, so ``with
         MetaCache.open(path, workers=4) as mc: ...`` never leaks
-        processes or shared-memory blocks.
+        processes or shared-memory blocks.  A shard router opened
+        with ``shards=N`` is shut down here too (after the sessions
+        that share it).
         """
         for session in list(self._sessions):
             session.close()
+        if self._router is not None:
+            self._router.close()
         self.database.release_devices()
 
     def __enter__(self) -> "MetaCache":

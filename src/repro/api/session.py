@@ -62,6 +62,7 @@ from repro.pipeline.packed import PackedReads
 from repro.pipeline.producer import read_file_producer
 from repro.pipeline.queues import ClosableQueue
 from repro.pipeline.scheduler import run_producer_consumer
+from repro.shard.router import ShardRouter
 
 __all__ = ["QuerySession", "iter_batches", "DEFAULT_BATCH_SIZE"]
 
@@ -147,6 +148,16 @@ class QuerySession:
     :meth:`close` (or use the session as a context manager) to shut
     the worker pool down; sessions that never fan out hold no
     resources and need no close.
+
+    ``router`` routes candidate generation through a
+    :class:`~repro.shard.ShardRouter` (sharded, replicated serving;
+    see ``MetaCache.open(shards=..., replicas=...)``) instead of
+    querying ``database`` in-process.  The database reference is
+    still used for classification and record formatting -- output is
+    byte-identical either way.  The router is owned by whoever built
+    it (normally the :class:`~repro.api.MetaCache` handle), not by
+    this session; it is shared across the handle's sessions and
+    survives :meth:`close`.
     """
 
     def __init__(
@@ -155,6 +166,7 @@ class QuerySession:
         params: ClassificationParams | None = None,
         node: MultiGpuNode | None = None,
         workers: int = 1,
+        router: ShardRouter | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -162,6 +174,7 @@ class QuerySession:
         self.params = params or database.params.classification
         self.node = node
         self.workers = workers
+        self.router = router
         self.report = RunReport()
         self.n_queries = 0
         self._engine: ParallelClassifier | None = None
@@ -209,14 +222,28 @@ class QuerySession:
             self._account(report)
             return run
 
-        query_params = self.database.params.replace(classification=cp)
-        result = query_database(
-            self.database,
-            payload,
-            mates=mate_seqs,
-            params=query_params,
-            node=node if node is not None else self.node,
-        )
+        if self.router is not None:
+            if node is not None or self.node is not None:
+                warnings.warn(
+                    "simulated multi-GPU node ignored: this session routes "
+                    "candidate generation through the shard router",
+                    stacklevel=2,
+                )
+            packed = (
+                payload
+                if isinstance(payload, PackedReads)
+                else PackedReads.from_reads(payload, mate_seqs)
+            )
+            result = self.router.query(packed, params=cp)
+        else:
+            query_params = self.database.params.replace(classification=cp)
+            result = query_database(
+                self.database,
+                payload,
+                mates=mate_seqs,
+                params=query_params,
+                node=node if node is not None else self.node,
+            )
         cls = classify_reads(self.database, result.candidates, cp)
         records = records_from_classification(
             self.database, headers, cls, result.read_lengths
@@ -261,7 +288,10 @@ class QuerySession:
             )
         n = len(sequences)
         engine = None
-        if n and self.workers > 1:
+        # a routed session already fans every batch out across the
+        # shard replicas -- the in-process worker pool would only
+        # re-split what the router distributes
+        if n and self.workers > 1 and self.router is None:
             engine = self._ensure_engine(self.workers)
         if engine is None:
             run = self.classify(
@@ -573,6 +603,13 @@ class QuerySession:
         n = self.workers if workers is None else workers
         if n < 1:
             raise ValueError("workers must be >= 1")
+        if n > 1 and self.router is not None:
+            warnings.warn(
+                "worker pool ignored: this session routes batches through "
+                "the shard router, which is already multi-process",
+                stacklevel=3,
+            )
+            return 1
         if n > 1 and node is not None:
             warnings.warn(
                 "simulated multi-GPU node given: classifying single-process "

@@ -16,8 +16,10 @@ Subcommands:
   the loaded database zero-copy (byte-identical output).
 - ``serve``   -- long-lived HTTP service over a warm database:
   concurrent ``POST /classify`` requests are micro-batched through
-  one hot index (``--workers N`` fans batches over N processes),
-  with ``/healthz`` and ``/stats`` for operations.
+  one hot index (``--workers N`` fans batches over N processes;
+  ``--shards N --replicas R`` serves through the shard router of
+  :mod:`repro.shard` with automatic replica failover), with
+  ``/healthz`` and ``/stats`` for operations.
 - ``info``    -- database summary (targets, windows, sizes).
 - ``merge``   -- combine per-partition candidate runs (Section 4.3).
 - ``convert`` -- rewrite a saved database between on-disk formats;
@@ -140,14 +142,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    mc = MetaCache.open(args.db, workers=args.workers, mmap=args.mmap)
+    mc = MetaCache.open(
+        args.db,
+        workers=args.workers,
+        mmap=args.mmap,
+        shards=args.shards,
+        replicas=args.replicas,
+    )
 
     # printed only after bind, so `--port 0` reports the real port
     def banner(server):
+        if mc.router is not None:
+            topology = f"shards={args.shards}, replicas={args.replicas}"
+        else:
+            topology = f"workers={args.workers}"
         print(
             f"serving {mc.n_targets} targets on "
             f"http://{server.host}:{server.port} "
-            f"(workers={args.workers}, "
+            f"({topology}, "
             f"max_batch_reads={args.max_batch_reads}, "
             f"max_delay_ms={args.max_delay_ms:g}); Ctrl-C to drain and stop",
             file=sys.stderr,
@@ -316,6 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--mmap", action="store_true",
                    help="memory-map a format-v2 database (near-instant "
                         "start, index shared through the page cache)")
+    s.add_argument("--shards", type=int, default=None,
+                   help="serve through the shard router: split the "
+                        "database's partitions over N shard processes "
+                        "(format-v2 only, implies --mmap, excludes "
+                        "--workers>1); output is byte-identical")
+    s.add_argument("--replicas", type=int, default=1,
+                   help="replica processes per shard; a crashed replica "
+                        "fails over to a sibling and respawns with "
+                        "backoff instead of failing requests")
     s.add_argument("--max-batch-reads", type=int, default=4096,
                    help="reads per coalesced classification batch")
     s.add_argument("--max-delay-ms", type=float, default=2.0,

@@ -49,6 +49,44 @@ def load_candidates(path: str | os.PathLike) -> Candidates:
         )
 
 
+def _validate_run(c: Candidates, index: int) -> None:
+    """Reject a candidate set whose five arrays disagree in shape."""
+    shape = c.target.shape
+    if len(shape) != 2:
+        raise ValueError(
+            f"partition run {index}: candidate arrays must be 2-D "
+            f"(n_reads, m), got shape {shape}"
+        )
+    for name in ("window_first", "window_last", "score", "valid"):
+        other = getattr(c, name).shape
+        if other != shape:
+            raise ValueError(
+                f"partition run {index}: {name} has shape {other}, "
+                f"expected {shape} (matching target)"
+            )
+
+
+def _truncate(c: Candidates, m: int) -> Candidates:
+    """Keep the first ``m`` candidate columns (rows are score-ordered).
+
+    Safe at any merge point: within a row, candidates are ordered by
+    (descending score, ascending target id), so the surviving prefix
+    of a partial merge always contains every candidate that could
+    still reach the final top-``m`` -- dropping the tail can never
+    change the end result.  Copies into C-contiguous arrays so the
+    truncated set does not pin the wider parent buffers alive.
+    """
+    if c.m <= m:
+        return c
+    return Candidates(
+        target=np.ascontiguousarray(c.target[:, :m]),
+        window_first=np.ascontiguousarray(c.window_first[:, :m]),
+        window_last=np.ascontiguousarray(c.window_last[:, :m]),
+        score=np.ascontiguousarray(c.score[:, :m]),
+        valid=np.ascontiguousarray(c.valid[:, :m]),
+    )
+
+
 def merge_partition_runs(
     runs: Sequence[Candidates | str | os.PathLike],
     m: int | None = None,
@@ -57,13 +95,27 @@ def merge_partition_runs(
 
     ``runs`` may mix in-memory candidate sets and saved NPZ paths.
     The result equals querying one database holding all partitions
-    (same guarantee as the device ring of Fig. 2).
+    (same guarantee as the device ring of Fig. 2), and -- because
+    candidates order by (descending score, ascending target id), a
+    strict total order whenever targets are unique across runs -- it
+    is independent of how the runs are grouped or ordered, which is
+    what lets the shard router merge per-shard partial merges.  Score
+    ties between *duplicate* target ids (never produced by partition
+    runs, but accepted) keep ascending-target-id order, with run
+    position breaking exact (score, target) ties stably.
+
+    Edge cases, pinned by ``tests/test_core_candidates.py``: an empty
+    ``runs`` sequence raises ``ValueError``; a single run passes
+    through untouched apart from ``m``-truncation; runs covering zero
+    reads (or zero candidate columns) merge without error.
     """
     if not runs:
         raise ValueError("no partition runs to merge")
     loaded = [
         r if isinstance(r, Candidates) else load_candidates(Path(r)) for r in runs
     ]
+    for i, c in enumerate(loaded):
+        _validate_run(c, i)
     n_reads = loaded[0].n_reads
     for i, c in enumerate(loaded[1:], start=1):
         if c.n_reads != n_reads:
@@ -73,12 +125,8 @@ def merge_partition_runs(
     merged = loaded[0]
     for c in loaded[1:]:
         merged = merged.merged_with(c)
-    if m is not None and merged.m > m:
-        merged = Candidates(
-            target=merged.target[:, :m],
-            window_first=merged.window_first[:, :m],
-            window_last=merged.window_last[:, :m],
-            score=merged.score[:, :m],
-            valid=merged.valid[:, :m],
-        )
+    if m is not None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        merged = _truncate(merged, m)
     return merged

@@ -33,6 +33,7 @@ in Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -100,6 +101,7 @@ def query_database(
     params: MetaCacheParams | None = None,
     node: MultiGpuNode | None = None,
     kernels: str = "packed",
+    partition_ids: Sequence[int] | None = None,
 ) -> QueryResult:
     """Query reads against every database partition and merge.
 
@@ -122,6 +124,15 @@ def query_database(
         ``"legacy"`` runs the retained per-read reference
         implementation (list input only).  Results are byte-identical
         -- asserted by ``tests/test_packed_equivalence.py``.
+    partition_ids:
+        restrict the run to this strictly ascending subset of the
+        database's partitions (default: all of them).  The shard
+        workers of :mod:`repro.shard` use this to query only their
+        assigned partition set; merging the per-shard results with
+        :func:`repro.core.merge.merge_partition_runs` reproduces the
+        full-database result exactly, because candidate targets are
+        unique across partitions.  Incompatible with a simulated
+        multi-GPU ``node`` (the ring spans every partition).
     """
     params = params or db.params
     timer = StageTimer()
@@ -168,9 +179,30 @@ def query_database(
     feat_window = np.repeat(np.arange(n_windows, dtype=np.int64), s)[valid]
     features = flat_features[valid]
 
+    if partition_ids is None:
+        pids: Sequence[int] = range(db.n_partitions)
+    else:
+        pids = [int(p) for p in partition_ids]
+        if not pids:
+            raise ValueError("partition_ids must name at least one partition")
+        if any(p < 0 or p >= db.n_partitions for p in pids):
+            raise ValueError(
+                f"partition_ids {pids} out of range for a database with "
+                f"{db.n_partitions} partition(s)"
+            )
+        if any(b <= a for a, b in zip(pids, pids[1:])):
+            # ascending order pins the local merge order, so a shard's
+            # partial result is deterministic regardless of plan shape
+            raise ValueError(f"partition_ids must be strictly ascending: {pids}")
+        if node is not None:
+            raise ValueError(
+                "partition_ids cannot be combined with a simulated "
+                "multi-GPU node (the device ring spans all partitions)"
+            )
+
     per_partition: list[Candidates] = []
     total_locations = 0
-    for pid in range(db.n_partitions):
+    for pid in pids:
         with timer.stage("query"):
             locations, feat_offsets = db.query_features(features, pid)
         total_locations += locations.size

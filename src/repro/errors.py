@@ -23,6 +23,7 @@ __all__ = [
     "UnknownFormatError",
     "PipelineError",
     "WorkerCrashError",
+    "ShardFailedError",
     "SharedMemoryUnavailableError",
     "ServerError",
     "OverloadedError",
@@ -107,6 +108,17 @@ class WorkerCrashError(PipelineError):
     Carries the worker id and exit code in the message.  The parent
     engine shuts the remaining pool down before raising, so no orphan
     processes or shared-memory blocks are left behind.
+    """
+
+
+class ShardFailedError(WorkerCrashError):
+    """Every replica of an index shard is dead and cannot be respawned.
+
+    Raised by :meth:`repro.shard.ShardRouter.query` when a shard's
+    last live replica died mid-batch and the bounded respawn budget is
+    exhausted, so the batch cannot fail over anywhere.  Single-replica
+    crashes never surface as this error -- they are retried on a
+    sibling replica and only degrade the shard's health report.
     """
 
 

@@ -46,9 +46,35 @@ from repro.parallel.worker import worker_main
 from repro.pipeline.batch import SequenceBatch
 from repro.pipeline.packed import PackedReads
 
-__all__ = ["ParallelClassifier", "shared_memory_available"]
+__all__ = ["ParallelClassifier", "shared_memory_available", "reap_processes"]
 
 _POLL_SECONDS = 0.1
+
+
+def reap_processes(procs: list, grace: float = 5.0) -> None:
+    """Join worker processes, escalating to terminate then kill.
+
+    The shared tail of every pool teardown in this repo (the engine
+    below, the shard router's replica sets): each process gets up to
+    ``grace`` seconds *collectively* to exit after its shutdown
+    sentinel, stragglers are terminated, and anything still alive
+    after a short post-terminate join is killed.  Never raises --
+    teardown must succeed even mid-crash (a process whose ``start()``
+    itself failed is skipped: it cannot be joined).
+    """
+    procs = [p for p in procs if p.is_alive() or p.exitcode is not None]
+    deadline = time.monotonic() + grace
+    for p in procs:
+        p.join(timeout=max(0.0, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - terminate() nearly always lands
+            p.kill()
+            p.join(timeout=1.0)
 
 
 def shared_memory_available() -> bool:
@@ -86,18 +112,7 @@ def _shutdown_pool(state: dict, procs: list, tasks, results, handle) -> None:
             tasks.put(None)
         except (OSError, ValueError):  # queue already broken
             break
-    deadline = time.monotonic() + 5.0
-    for p in procs:
-        p.join(timeout=max(0.0, deadline - time.monotonic()))
-    for p in procs:
-        if p.is_alive():
-            p.terminate()
-    for p in procs:
-        if p.is_alive():
-            p.join(timeout=2.0)
-        if p.is_alive():  # pragma: no cover - terminate() nearly always lands
-            p.kill()
-            p.join(timeout=1.0)
+    reap_processes(procs)
     for q in (tasks, results):
         try:
             q.cancel_join_thread()

@@ -348,18 +348,34 @@ class ClassificationServer:
         A crashed batch dispatcher makes every ``/classify`` a 503
         forever, so health must go red too -- otherwise a load
         balancer keeps routing traffic to a dead instance.
+
+        A sharded session (``--shards N``) adds a *degraded* middle
+        state: some shard has fewer live replicas than configured
+        (a crash waiting out its respawn backoff), but every shard
+        still answers, so the instance keeps serving -- status stays
+        HTTP 200 and the body says ``degraded`` with per-shard live
+        counts.  Probing also advances the router's maintenance
+        (respawns due after backoff), so a health-checked server
+        heals without traffic.
         """
         crashed = self.batcher.crashed
-        return HttpResponse.json(
-            {
-                "status": "failed" if crashed else "ok",
-                "uptime_seconds": round(
-                    time.monotonic() - self._started_at, 3
-                ),
-                "queued_reads": self.batcher.queued_reads,
-            },
-            status=503 if crashed else 200,
-        )
+        router = getattr(self.session, "router", None)
+        payload: dict = {
+            "status": "failed" if crashed else "ok",
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "queued_reads": self.batcher.queued_reads,
+        }
+        if router is not None and not router.closed:
+            router.maintain()
+            if router.degraded and not crashed:
+                payload["status"] = "degraded"
+            payload["shards"] = {
+                "degraded": router.degraded,
+                "live": [s["live"] for s in router.health()],
+            }
+        return HttpResponse.json(payload, status=503 if crashed else 200)
 
     def _stats(self) -> HttpResponse:
         """Counters, latency quantiles, batch histogram, database info."""
@@ -370,21 +386,24 @@ class ClassificationServer:
             "total_windows": db.total_windows,
             "mmap": db.mmap_path is not None,
         }
-        return HttpResponse.json(
-            {
-                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
-                "workers": self.session.workers,
-                "batching": {
-                    "max_batch_reads": self.batcher.max_batch_reads,
-                    "max_delay_ms": self.batcher.max_delay * 1000.0,
-                    "max_queued_reads": self.batcher.max_queued_reads,
-                    "queued_reads": self.batcher.queued_reads,
-                    "crashed": self.batcher.crashed,
-                },
-                "database": info,
-                "requests": self.stats.snapshot(),
-            }
-        )
+        payload = {
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "workers": self.session.workers,
+            "batching": {
+                "max_batch_reads": self.batcher.max_batch_reads,
+                "max_delay_ms": self.batcher.max_delay * 1000.0,
+                "max_queued_reads": self.batcher.max_queued_reads,
+                "queued_reads": self.batcher.queued_reads,
+                "crashed": self.batcher.crashed,
+            },
+            "database": info,
+            "requests": self.stats.snapshot(),
+        }
+        router = getattr(self.session, "router", None)
+        if router is not None and not router.closed:
+            router.maintain()
+            payload["shards"] = router.stats()
+        return HttpResponse.json(payload)
 
     async def _classify(self, request: HttpRequest) -> HttpResponse:
         """Parse reads out of the body, batch-classify, render the sink.
@@ -502,16 +521,24 @@ class ServerThread:
     loop.
 
     ``on_stop`` (optional zero-argument callable) runs after the
-    server has fully stopped; :meth:`repro.api.MetaCache.serve` uses
-    it to close the dedicated session it opened, so a ``workers=N``
-    pool never outlives its server.
+    server has stopped -- on *every* :meth:`stop` path, including a
+    failed drain; :meth:`repro.api.MetaCache.serve` uses it to close
+    the dedicated session it opened, so a ``workers=N`` pool or a
+    shard router never outlives its server.  ``drain_timeout`` bounds
+    how long :meth:`stop` waits for the draining shutdown before
+    declaring it failed (tests shrink it to exercise that branch).
     """
 
     def __init__(
-        self, server: ClassificationServer, *, on_stop=None
+        self,
+        server: ClassificationServer,
+        *,
+        on_stop=None,
+        drain_timeout: float = 60.0,
     ) -> None:
         self.server = server
         self.on_stop = on_stop
+        self.drain_timeout = drain_timeout
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -551,15 +578,18 @@ class ServerThread:
     def stop(self, *, drain: bool = True) -> None:
         """Drain and stop the server, then join the loop thread.
 
-        If the drain does not finish within 60 seconds the loop is
-        stopped anyway and :class:`~repro.errors.ServerError` is
-        raised -- a leaked live loop thread would keep serving while
-        ``on_stop`` closes the session underneath it.  ``on_stop`` is
-        deliberately *skipped* on that timeout path: the batcher's
-        executor thread may still be inside ``classify_batch``, and
-        closing the session (shared memory, worker pool) under a live
-        classification is worse than leaking it during what is
-        already an abnormal shutdown.
+        If the drain does not finish within ``drain_timeout`` seconds
+        the loop is stopped anyway and
+        :class:`~repro.errors.ServerError` is raised -- a leaked live
+        loop thread would keep serving while ``on_stop`` closes the
+        session underneath it.  ``on_stop`` runs on *every* path,
+        timeout included: the session owns real processes (a worker
+        pool, a shard router), and a stuck drain abandoning them
+        would leak a process tree per failed shutdown.  The loop has
+        been stopped and its thread joined (or abandoned as a daemon)
+        by then, and the pools' own teardown escalates
+        join/terminate/kill, so closing under a wedged classification
+        is still bounded.
         """
         if self._thread is None or self._loop is None:
             return
@@ -570,7 +600,7 @@ class ServerThread:
                     self.server.stop(drain=drain), self._loop
                 )
                 try:
-                    future.result(timeout=60)
+                    future.result(timeout=self.drain_timeout)
                 except FuturesTimeoutError:
                     timed_out = True
                     future.cancel()
@@ -582,10 +612,11 @@ class ServerThread:
             self._loop = None
             if timed_out:
                 raise ServerError(
-                    "shutdown drain did not finish within 60 seconds"
+                    f"shutdown drain did not finish within "
+                    f"{self.drain_timeout:.0f} seconds"
                 )
         finally:
-            if self.on_stop is not None and not timed_out:
+            if self.on_stop is not None:
                 self.on_stop()
 
     def __enter__(self) -> "ServerThread":

@@ -1,0 +1,93 @@
+"""Wire-format payloads between the shard router and its replicas.
+
+Everything crossing the process boundary is a plain picklable
+dataclass of contiguous arrays and scalars (the ``spawn`` start
+method re-imports a fresh interpreter, so payloads must carry no
+process-local state -- repro-lint RL004 checks this package).
+
+Router -> replica task queues carry :class:`ShardTask` (or ``None``
+as the shutdown sentinel); each replica's own replica -> router
+result queue carries tagged tuples (queues are per-slot and
+per-generation -- never shared, never reused -- so a SIGKILLed
+replica cannot poison a queue lock any surviving process needs):
+
+- ``("ready", shard_id, replica_id)``
+  -- mmap attach succeeded, replica is serving;
+- ``("init_error", shard_id, replica_id, message, traceback_text)``
+  -- attach failed, the replica process is exiting;
+- ``("ok", shard_id, replica_id, ShardResult)``
+  -- one batch's per-shard candidates;
+- ``("error", shard_id, replica_id, batch_id, type_name, message,
+  traceback_text)``
+  -- the batch raised inside the replica (which keeps serving).
+
+Results are tagged with the originating ``batch_id`` so the router
+can discard stale duplicates: a ``batch_timeout`` failover kills the
+slow replica and re-dispatches, but its completed answer may already
+sit in its queue; the tag keeps such leftovers from being mistaken
+for the sibling's answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import Candidates
+from repro.core.config import ClassificationParams
+from repro.pipeline.packed import PackedReads
+
+__all__ = ["ShardTask", "ShardResult"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One read batch dispatched to (one replica of) every shard.
+
+    ``packed`` pickles as 2-3 contiguous arrays (buffer, offsets,
+    read ids) -- the natural wire format for query batches.  The
+    decision-rule ``params`` travel per task, exactly like the
+    parallel engine's chunk protocol, so per-call overrides reach the
+    replicas; sketching parameters always come from the database the
+    replica has mapped.
+    """
+
+    batch_id: int
+    packed: PackedReads
+    params: ClassificationParams
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's candidate run for one batch (already locally merged).
+
+    The five candidate arrays are the fields of
+    :class:`~repro.core.candidates.Candidates`, shipped flat so the
+    payload is plain arrays; :meth:`candidates` re-wraps them on the
+    router side for the cross-shard merge.  ``read_lengths`` is
+    returned by every shard identically (it derives from the packed
+    batch, not the index) -- the router uses the first arrival.
+    """
+
+    batch_id: int
+    target: np.ndarray
+    window_first: np.ndarray
+    window_last: np.ndarray
+    score: np.ndarray
+    valid: np.ndarray
+    read_lengths: np.ndarray
+    n_reads: int
+    total_locations: int
+    stage_seconds: dict[str, float]
+    total_seconds: float
+
+    def candidates(self) -> Candidates:
+        """Re-wrap the flat arrays as a mergeable candidate set."""
+        return Candidates(
+            target=self.target,
+            window_first=self.window_first,
+            window_last=self.window_last,
+            score=self.score,
+            valid=self.valid,
+        )

@@ -1,0 +1,176 @@
+"""Partition-to-shard planning over a saved format-v2 database.
+
+A shard plan splits an existing database directory's partitions into
+N disjoint, jointly exhaustive shards *without touching the index*:
+the v2 ``database.meta`` / ``manifest.json`` already record every
+partition's size (``n_locations``), so planning is pure metadata work
+-- no rebuild, no rewrite.  Each shard's replica processes then
+memory-map the whole directory (a cheap O(metadata) cold open) but
+query only their assigned partition ids, so the unqueried partitions'
+index pages are never faulted in.
+
+Assignment is greedy by weight: partitions are placed heaviest-first
+onto the currently lightest shard, the classic LPT balance heuristic.
+The plan is deterministic (ties break on lowest id) and
+order-independent of how the result is later merged, because
+candidate targets are unique across partitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DatabaseFormatError
+
+__all__ = ["ShardAssignment", "ShardPlan"]
+
+_FORMAT_V2 = 2
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One shard's slice of the database: which partitions, how heavy."""
+
+    shard_id: int
+    partition_ids: tuple[int, ...]
+    weight: int
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of database partitions this shard serves."""
+        return len(self.partition_ids)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete partition-to-shard assignment for one database.
+
+    ``assignments`` is ordered by shard id; every partition of the
+    directory appears in exactly one shard (validated on
+    construction).  Build one with :meth:`from_directory`.
+    """
+
+    directory: str
+    n_partitions: int
+    assignments: tuple[ShardAssignment, ...]
+
+    def __post_init__(self) -> None:
+        """Validate disjoint, exhaustive coverage of the partitions."""
+        seen: list[int] = []
+        for a in self.assignments:
+            seen.extend(a.partition_ids)
+        if sorted(seen) != list(range(self.n_partitions)):
+            raise ValueError(
+                f"shard plan does not cover partitions 0..{self.n_partitions - 1} "
+                f"exactly once: {seen}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.assignments)
+
+    @classmethod
+    def from_directory(
+        cls, directory: "str | os.PathLike[str]", n_shards: int
+    ) -> "ShardPlan":
+        """Plan ``n_shards`` shards over a saved format-v2 directory.
+
+        Reads ``database.meta`` and ``manifest.json`` only; the index
+        arrays themselves are never opened.  Raises
+        :class:`~repro.errors.DatabaseFormatError` when the directory
+        is missing, not format v2 (upgrade with ``metacache-repro
+        convert``), or its metadata is corrupt, and ``ValueError``
+        when ``n_shards`` is not in ``1..n_partitions`` (a shard with
+        no partitions could never contribute candidates).
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        path = Path(directory)
+        meta = _read_json(path / "database.meta")
+        version = int(meta.get("format_version", 1))
+        if version != _FORMAT_V2:
+            raise DatabaseFormatError(
+                f"{path}: sharding requires a format-v2 database (found "
+                f"v{version}); upgrade with `metacache-repro convert`"
+            )
+        n_partitions = int(meta["n_partitions"])
+        if n_shards > n_partitions:
+            raise ValueError(
+                f"cannot plan {n_shards} shard(s) over {n_partitions} "
+                "partition(s): every shard needs at least one partition"
+            )
+        manifest = _read_json(path / "manifest.json")
+        entries = manifest.get("partitions")
+        if not isinstance(entries, list) or len(entries) != n_partitions:
+            raise DatabaseFormatError(
+                f"{path / 'manifest.json'}: manifest lists "
+                f"{len(entries) if isinstance(entries, list) else 'no'} "
+                f"partition(s), metadata says {n_partitions}"
+            )
+        weights = {
+            int(e["partition_id"]): int(e["n_locations"]) for e in entries
+        }
+        if sorted(weights) != list(range(n_partitions)):
+            raise DatabaseFormatError(
+                f"{path / 'manifest.json'}: partition ids are not dense"
+            )
+        return cls(
+            directory=str(path),
+            n_partitions=n_partitions,
+            assignments=_assign(weights, n_shards),
+        )
+
+    def describe(self) -> str:
+        """One line per shard, for banners and logs."""
+        lines = []
+        for a in self.assignments:
+            pids = ",".join(str(p) for p in a.partition_ids)
+            lines.append(
+                f"shard {a.shard_id}: partition(s) [{pids}] "
+                f"({a.weight:,} locations)"
+            )
+        return "\n".join(lines)
+
+
+def _read_json(path: Path) -> dict:
+    """Load one metadata JSON file, mapping failures to the typed error."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise DatabaseFormatError(
+            f"no format-v2 database metadata at {path} ({exc})"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise DatabaseFormatError(f"{path}: corrupt metadata ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise DatabaseFormatError(f"{path}: expected a JSON object")
+    return payload
+
+
+def _assign(
+    weights: dict[int, int], n_shards: int
+) -> tuple[ShardAssignment, ...]:
+    """Greedy LPT: heaviest partition first onto the lightest shard."""
+    # (weight, shard_id) heap: ties deterministically pick the lowest id
+    heap: list[tuple[int, int]] = [(0, s) for s in range(n_shards)]
+    heapq.heapify(heap)
+    members: dict[int, list[int]] = {s: [] for s in range(n_shards)}
+    loads: dict[int, int] = {s: 0 for s in range(n_shards)}
+    for pid in sorted(weights, key=lambda p: (-weights[p], p)):
+        load, shard = heapq.heappop(heap)
+        members[shard].append(pid)
+        loads[shard] = load + weights[pid]
+        heapq.heappush(heap, (loads[shard], shard))
+    return tuple(
+        ShardAssignment(
+            shard_id=s,
+            partition_ids=tuple(sorted(members[s])),
+            weight=loads[s],
+        )
+        for s in range(n_shards)
+    )

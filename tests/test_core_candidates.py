@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.candidates import Candidates, generate_top_candidates
+from repro.core.merge import merge_partition_runs
 from repro.util.bitops import pack_pairs
 
 
@@ -244,3 +245,154 @@ class TestMerge:
             assert np.array_equal(merged.target, c_joint.target)
             assert np.array_equal(merged.score, c_joint.score)
             assert np.array_equal(merged.valid, c_joint.valid)
+
+
+# ------------------------------------------------- merge_partition_runs
+
+
+def make_run(rows, m):
+    """Build a canonical candidate run from per-read (target, score) lists.
+
+    Rows are put in the order single-partition generation produces:
+    valid entries first, descending score, ascending target id on
+    ties -- ``np.lexsort`` is stable, so this matches the invariant
+    ``merged_with`` relies on.
+    """
+    n_reads = len(rows)
+    tgt = np.zeros((n_reads, m), dtype=np.uint32)
+    sc = np.zeros((n_reads, m), dtype=np.int64)
+    va = np.zeros((n_reads, m), dtype=bool)
+    for r, entries in enumerate(rows):
+        for c, (t, s) in enumerate(entries[:m]):
+            tgt[r, c], sc[r, c], va[r, c] = t, s, True
+    order = np.lexsort((tgt, -sc, ~va), axis=1)
+    taken = np.arange(n_reads)[:, None], order
+    return Candidates(
+        target=tgt[taken],
+        window_first=tgt[taken].copy(),  # distinct payload to track rows
+        window_last=tgt[taken].copy(),
+        score=sc[taken],
+        valid=va[taken],
+    )
+
+
+def reference_merge(runs, m):
+    """Model: stable sort of the concatenated runs, first m per read.
+
+    One stable lexsort over *all* runs at once -- the pairwise merge
+    chain in ``merge_partition_runs`` must agree with it for every
+    grouping, which is what makes the shard router's cross-shard
+    merge independent of shard count.
+    """
+    tgt = np.concatenate([c.target for c in runs], axis=1)
+    sc = np.concatenate([c.score for c in runs], axis=1)
+    va = np.concatenate([c.valid for c in runs], axis=1)
+    order = np.lexsort((tgt, -sc, ~va), axis=1)[:, :m]
+    rows = np.arange(tgt.shape[0])[:, None]
+    return tgt[rows, order], sc[rows, order], va[rows, order]
+
+
+def _entries_strategy(unique_targets):
+    """Runs -> reads -> (target, score) entries, three levels deep."""
+    read = st.lists(
+        st.tuples(st.integers(0, 7), st.integers(1, 5)),
+        min_size=0,
+        max_size=6,
+        unique_by=(lambda e: e[0]) if unique_targets else None,
+    )
+    run = st.lists(read, min_size=0, max_size=3)
+    return st.lists(run, min_size=1, max_size=3)
+
+
+class TestMergePartitionRuns:
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError, match="no partition runs"):
+            merge_partition_runs([])
+
+    def test_m_below_one_rejected(self):
+        with pytest.raises(ValueError, match="m must be >= 1"):
+            merge_partition_runs([make_run([[(1, 2)]], m=2)], m=0)
+
+    def test_mismatched_read_counts_rejected(self):
+        a = make_run([[(1, 2)]], m=2)
+        b = make_run([[(1, 2)], [(2, 1)]], m=2)
+        with pytest.raises(ValueError, match="reads"):
+            merge_partition_runs([a, b])
+
+    def test_single_run_passthrough(self):
+        run = make_run([[(3, 5), (1, 2)]], m=4)
+        out = merge_partition_runs([run])
+        assert np.array_equal(out.target, run.target)
+        assert np.array_equal(out.score, run.score)
+        assert np.array_equal(out.valid, run.valid)
+
+    def test_single_run_truncates_to_m(self):
+        run = make_run([[(1, 9), (2, 7), (3, 5)]], m=4)
+        out = merge_partition_runs([run], m=2)
+        assert out.m == 2
+        assert out.target[0].tolist() == [1, 2]
+        assert all(a.flags["C_CONTIGUOUS"] for a in (out.target, out.score))
+
+    def test_zero_read_runs_merge(self):
+        runs = [make_run([], m=3), make_run([], m=3)]
+        out = merge_partition_runs(runs, m=2)
+        assert out.n_reads == 0 and out.m == 2
+
+    def test_duplicate_targets_keep_ascending_id_on_ties(self):
+        # same score everywhere: the tie-break alone decides the order
+        a = make_run([[(5, 3), (1, 3)]], m=4)
+        b = make_run([[(3, 3), (1, 3)]], m=4)
+        for runs in ([a, b], [b, a]):
+            out = merge_partition_runs(runs, m=4)
+            assert out.target[0].tolist() == [1, 1, 3, 5]
+
+    @given(_entries_strategy(unique_targets=False), st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_stable_sort_model(self, per_run, m):
+        reads = max(len(r) for r in per_run)
+        if reads == 0:
+            per_run = [[[]] for _ in per_run]
+            reads = 1
+        runs = [
+            make_run(
+                [rows[i] if i < len(rows) else [] for i in range(reads)], m=3
+            )
+            for rows in per_run
+        ]
+        out = merge_partition_runs(runs, m=m)
+        # merged width is min(m, widest run): `m` only truncates, it
+        # never pads -- so evaluate the model at the effective width
+        # (top-k selection commutes with the stable merge either way)
+        assert out.m == min(m, max(r.m for r in runs))
+        exp_t, exp_s, exp_v = reference_merge(runs, out.m)
+        assert np.array_equal(out.valid, exp_v)
+        assert np.array_equal(out.target[exp_v], exp_t[exp_v])
+        assert np.array_equal(out.score[exp_v], exp_s[exp_v])
+
+    @given(_entries_strategy(unique_targets=True), st.integers(1, 5),
+           st.permutations([0, 1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_unique_targets_merge_order_invariant(self, per_run, m, perm):
+        """With targets unique per run *position*, grouping/order of the
+        merge chain cannot change the result (strict total order)."""
+        reads = max(len(r) for r in per_run)
+        if reads == 0:
+            per_run = [[[]] for _ in per_run]
+            reads = 1
+        # offset targets per run so they are globally unique, like
+        # partitions (a reference is never split across partitions)
+        runs = []
+        for k, rows in enumerate(per_run):
+            padded = [
+                [(t + 100 * k, s) for t, s in (rows[i] if i < len(rows) else [])]
+                for i in range(reads)
+            ]
+            runs.append(make_run(padded, m=3))
+        base = merge_partition_runs(runs, m=m)
+        shuffled = [runs[i] for i in perm if i < len(runs)]
+        if not shuffled:
+            shuffled = runs
+        out = merge_partition_runs(shuffled, m=m)
+        assert np.array_equal(out.valid, base.valid)
+        assert np.array_equal(out.target[base.valid], base.target[base.valid])
+        assert np.array_equal(out.score[base.valid], base.score[base.valid])

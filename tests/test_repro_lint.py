@@ -570,6 +570,7 @@ def test_committed_baseline_is_all_rl003_preconditions():
     assert keys == {
         ("RL003", "src/repro/api/facade.py", "MetaCache.__init__"),
         ("RL003", "src/repro/api/facade.py", "MetaCache.extend"),
+        ("RL003", "src/repro/api/facade.py", "MetaCache.open"),
         ("RL003", "src/repro/api/facade.py", "MetaCache.serve"),
         ("RL003", "src/repro/api/session.py", "iter_batches"),
         ("RL003", "src/repro/api/session.py", "QuerySession.__init__"),

@@ -3,13 +3,15 @@
 
 Builds a small database, saves it in format v1, upgrades it to format
 v2 with :func:`repro.core.io.convert_database`, then classifies one
-simulated read file through the public API under four configurations:
+simulated read file through the public API under six configurations:
 
 - v1 directory (the rebuild load path);
 - v2 directory, eager load;
 - v2 directory, ``mmap=True`` (zero-rebuild, page-cache-backed);
 - v2 directory, ``mmap=True`` + ``workers=2`` (worker processes
   attach the same files via :class:`FileBackedDatabaseHandle`);
+- v2 directory, ``shards=2, replicas=2`` (every batch fans out
+  through the :mod:`repro.shard` router and is re-merged);
 - v2 directory produced by the *extend* path: a database built from
   the first half of the references, saved, reopened, grown with
   ``MetaCache.extend`` (the ``metacache-repro add`` path) and
@@ -48,7 +50,7 @@ def _classify(db_dir: Path, read_file: Path, out: Path, **open_kwargs) -> bytes:
 
 
 def main() -> int:
-    """Run the four-way comparison; 0 = identical, 1 = divergence."""
+    """Run the six-way comparison; 0 = identical, 1 = divergence."""
     dataset = hiseq_mini(600)
     refset = dataset.refset
     db = Database.build(refset.references, refset.taxonomy, n_partitions=2)
@@ -104,6 +106,7 @@ def main() -> int:
             "v2": (v2_dir, {}),
             "v2+mmap": (v2_dir, {"mmap": True}),
             "v2+mmap+workers=2": (v2_dir, {"mmap": True, "workers": 2}),
+            "v2+shards=2x2": (v2_dir, {"shards": 2, "replicas": 2}),
             "v2-extended": (ext_dir, {}),
         }
         outputs = {

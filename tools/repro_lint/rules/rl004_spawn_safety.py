@@ -26,6 +26,7 @@ from tools.repro_lint.registry import register
 
 PAYLOAD_SCOPES = (
     "src/repro/parallel/",
+    "src/repro/shard/",
     "src/repro/core/builder.py",
     "src/repro/core/database.py",
 )
