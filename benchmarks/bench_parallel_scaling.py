@@ -19,9 +19,12 @@ wall-clock scaling requires real cores:
   worker's CPU total under the engine's actual dynamic chunk
   assignment, i.e. the run's critical path when each worker owns a
   core.  This is the same projection methodology the repo's
-  simulated-GPU benches use (``repro.gpu.costmodel``), and it is what
-  the scaling headline uses whenever the host has fewer cores than
-  workers (CI boxes often expose 1-2).
+  simulated-GPU benches use (``repro.gpu.costmodel``).
+
+Each run records ``cores_available`` next to ``workers`` and is gated
+on the basis that is honest *for that run*: wall-clock speedup when
+the host can grant every worker a core, the modeled critical path
+otherwise (CI boxes often expose 1-2 cores).
 
 Run standalone (writes the JSON):
 
@@ -162,29 +165,33 @@ def run_scaling(n_reads: int = 4000, chunk_size: int = 500) -> dict:
         run["speedup_modeled"] = (
             baseline["modeled_makespan_seconds"] / run["modeled_makespan_seconds"]
         )
+        # the gate basis is chosen per run: a 2-worker run on a 2-core
+        # host is honestly wall-gated even when the 4-worker run on the
+        # same host must fall back to the modeled critical path
+        run["cores_available"] = cores
+        run["gate_basis"] = "wall" if cores >= workers else "modeled"
+        run["speedup_gated"] = run[f"speedup_{run['gate_basis']}"]
         runs.append(run)
 
-    basis = "wall" if cores >= max(WORKER_COUNTS) else "modeled"
     scaling = {
-        "basis": basis,
+        "basis": "per_run",
         "note": (
-            "wall-clock scaling (host has enough cores for every worker)"
-            if basis == "wall"
-            else (
-                f"host exposes {cores} core(s): scaling uses the modeled "
-                "critical path (busiest worker's measured CPU seconds under "
-                "the engine's actual chunk assignment -- what a dedicated "
-                "core would spend), the projection the simulated-GPU benches "
-                "also use; wall numbers are recorded alongside"
-            )
+            f"host exposes {cores} core(s); each run is gated on "
+            "wall-clock speedup when the host can grant every worker a "
+            "core, and otherwise on the modeled critical path (busiest "
+            "worker's measured CPU seconds under the engine's actual "
+            "chunk assignment -- what a dedicated core would spend, the "
+            "projection the simulated-GPU benches also use); wall and "
+            "modeled numbers are both recorded for every run"
         ),
     }
     for run in runs:
-        scaling[f"at_{run['workers']}_workers"] = run[f"speedup_{basis}"]
+        scaling[f"at_{run['workers']}_workers"] = run["speedup_gated"]
+        scaling[f"at_{run['workers']}_workers_basis"] = run["gate_basis"]
 
     return {
         "benchmark": "parallel_scaling",
-        "schema_version": 1,
+        "schema_version": 2,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -215,7 +222,7 @@ def render_report(doc: dict) -> str:
                 f"{run['reads_per_second_wall']:,.0f}",
                 format_seconds(run["modeled_makespan_seconds"]),
                 f"{run['reads_per_second_modeled']:,.0f}",
-                f"{run['speedup_modeled']:.2f}x",
+                f"{run['speedup_gated']:.2f}x ({run['gate_basis']})",
                 "yes" if run["byte_identical"] else "NO",
             ]
         )
@@ -260,8 +267,8 @@ def test_parallel_scaling(benchmark, report):
     write_outputs(doc)
     report(render_report(doc))
     assert all(run["byte_identical"] for run in doc["runs"])
-    # the tentpole claim: >1.5x throughput at 4 workers (modeled when
-    # the host cannot grant each worker a core)
+    # the tentpole claim: >1.5x throughput at 4 workers, gated per run
+    # (wall when the host grants each worker a core, modeled otherwise)
     assert doc["speedup_at_4_workers"] > 1.5
 
 

@@ -45,6 +45,7 @@ from repro.api.errors import (
     MetaCacheError,
     OverloadedError,
     PipelineError,
+    ReloadError,
     ServerError,
     SharedMemoryUnavailableError,
     UnknownFormatError,
@@ -148,6 +149,7 @@ __all__ = [
     "SharedMemoryUnavailableError",
     "ServerError",
     "OverloadedError",
+    "ReloadError",
     # multi-process engine
     "ParallelClassifier",
     "ParallelSketcher",

@@ -13,6 +13,7 @@ from repro.errors import (
     MetaCacheError,
     OverloadedError,
     PipelineError,
+    ReloadError,
     ServerError,
     SharedMemoryUnavailableError,
     UnknownFormatError,
@@ -31,4 +32,5 @@ __all__ = [
     "SharedMemoryUnavailableError",
     "ServerError",
     "OverloadedError",
+    "ReloadError",
 ]

@@ -38,7 +38,7 @@ from repro.core.builder import DatabaseBuilder
 from repro.core.config import ClassificationParams, MetaCacheParams
 from repro.core.database import Database
 from repro.core.io import convert_database, load_database, save_database
-from repro.errors import DatabaseFormatError, InvalidMappingError
+from repro.errors import DatabaseFormatError, InvalidMappingError, ReloadError
 from repro.genomics.alphabet import encode_sequence
 from repro.gpu.device import Device
 from repro.gpu.topology import MultiGpuNode
@@ -131,6 +131,10 @@ class MetaCache:
         self.workers = workers
         self._router = router
         self._build_seconds = build_seconds
+        #: directory this handle was opened from / last reloaded to
+        #: (None for built/ephemeral handles); :meth:`serve` hands it
+        #: to the server's ``/stats`` reload block.
+        self.source_path: str | None = None
         self._default_session: QuerySession | None = None
         # weak refs: tracking sessions for close() must not keep every
         # short-lived per-request session (and its reports) alive
@@ -204,7 +208,9 @@ class MetaCache:
                 if shards is not None:
                     plan = ShardPlan.from_directory(path, shards)
                     router = ShardRouter(plan, replicas=replicas)
-        return cls(db, build_seconds=t.elapsed, workers=workers, router=router)
+        handle = cls(db, build_seconds=t.elapsed, workers=workers, router=router)
+        handle.source_path = str(path)
+        return handle
 
     @classmethod
     def convert(
@@ -424,6 +430,56 @@ class MetaCache:
         self._build_seconds += t.elapsed
         return self
 
+    def reload(
+        self,
+        path: str | os.PathLike,
+        *,
+        mmap: bool | None = None,
+        verify: bool = False,
+    ) -> "MetaCache":
+        """Hot-swap this handle (and every live session) to a new index.
+
+        Loads the database at ``path`` -- memory-mapped iff the
+        current one is, unless ``mmap`` says otherwise -- repoints the
+        handle and each open :class:`QuerySession` at it via
+        :meth:`QuerySession.swap_database`, then closes the *old*
+        database.  Batches already in flight finish against the old
+        index (its unmap is deferred until their retain pins drain);
+        every batch started after this call sees the new one.  The old
+        index's file descriptors are released deterministically, so
+        repeated reloads do not grow the process fd count.  Returns
+        ``self`` for chaining.
+
+        Raises
+        ------
+        ReloadError
+            for sharded handles (``shards=N``): shard plans pin
+            partition ids to the directory they were computed over,
+            so a sharded service must be restarted on the new
+            directory instead.
+        repro.errors.DatabaseFormatError
+            when ``path`` is missing or malformed; the handle keeps
+            serving the current database untouched.
+        """
+        if self._router is not None:
+            raise ReloadError(
+                "sharded handles cannot hot-swap their index: the shard "
+                "plan is pinned to the saved directory it was computed "
+                "over; restart the service on the new directory instead"
+            )
+        if mmap is None:
+            mmap = self.database.mmap_path is not None
+        with _translate_db_errors(path):
+            new_db = load_database(path, mmap=mmap, verify=verify)
+        old = self.database
+        self.database = new_db
+        for session in list(self._sessions):
+            if session.database is old:
+                session.swap_database(new_db)
+        self.source_path = str(path)
+        old.close()
+        return self
+
     # ---------------------------------------------------------------- queries
 
     def session(
@@ -472,6 +528,8 @@ class MetaCache:
         max_batch_reads: int = 4096,
         max_delay_ms: float = 2.0,
         max_queued_reads: int = 65536,
+        watch: "str | os.PathLike | None" = None,
+        watch_interval: float = 2.0,
         block: bool = True,
         on_started: "Callable[[ClassificationServer], None] | None" = None,
     ) -> "ServerThread | None":
@@ -497,6 +555,16 @@ class MetaCache:
         shuts the server down, and closes the dedicated session (so
         a ``workers=N`` pool does not outlive the server).
 
+        The served index can be hot-swapped without dropping requests:
+        ``POST /admin/reload`` swaps to a new directory between
+        micro-batches, and ``watch=DIR`` additionally polls ``DIR``
+        every ``watch_interval`` seconds for new complete ``v<N>``
+        version directories (see
+        :func:`repro.core.io.publish_database`), reloading
+        automatically -- the ``serve --watch`` mode.  Sharded handles
+        (``shards=N``) refuse both with
+        :class:`repro.errors.ReloadError`.
+
         ``on_started`` (optional callable receiving the
         :class:`~repro.server.ClassificationServer`) fires once the
         socket is bound -- with ``port=0`` that is when the real
@@ -504,6 +572,12 @@ class MetaCache:
         """
         from repro.server import ClassificationServer, ServerThread
 
+        if watch is not None and self._router is not None:
+            raise ReloadError(
+                "serve(watch=...) is unavailable on a sharded handle: the "
+                "shard plan cannot be hot-swapped; restart the service on "
+                "new directories instead"
+            )
         session = self.session(params, workers=workers)
         server = ClassificationServer(
             session,
@@ -512,6 +586,9 @@ class MetaCache:
             max_batch_reads=max_batch_reads,
             max_delay_ms=max_delay_ms,
             max_queued_reads=max_queued_reads,
+            source_dir=self.source_path,
+            watch_dir=watch,
+            watch_interval=watch_interval,
         )
         if not block:
             thread = ServerThread(server, on_stop=session.close)
@@ -596,20 +673,23 @@ class MetaCache:
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Release worker pools and simulated device allocations.
+        """Release worker pools, device allocations, and the index itself.
 
         Safe to call twice; sessions created by :meth:`session` have
         their multi-process engines shut down here, so ``with
         MetaCache.open(path, workers=4) as mc: ...`` never leaks
         processes or shared-memory blocks.  A shard router opened
         with ``shards=N`` is shut down here too (after the sessions
-        that share it).
+        that share it).  Finally the database is closed
+        (:meth:`Database.close`): for ``mmap=True`` handles that
+        returns the mapped files' descriptors to the OS now, so
+        repeated open/close cycles hold the fd count flat.
         """
         for session in list(self._sessions):
             session.close()
         if self._router is not None:
             self._router.close()
-        self.database.release_devices()
+        self.database.close()
 
     def __enter__(self) -> "MetaCache":
         return self

@@ -50,6 +50,7 @@ from repro.errors import (
     InvalidReadError,
     MetaCacheError,
     PipelineError,
+    ReloadError,
     SharedMemoryUnavailableError,
 )
 from repro.genomics.alphabet import encode_sequence
@@ -222,32 +223,39 @@ class QuerySession:
             self._account(report)
             return run
 
-        if self.router is not None:
-            if node is not None or self.node is not None:
-                warnings.warn(
-                    "simulated multi-GPU node ignored: this session routes "
-                    "candidate generation through the shard router",
-                    stacklevel=2,
+        # pin the database for this batch: a concurrent hot-swap
+        # (swap_database + close on the old index) defers its unmap
+        # until the release below, so the arrays stay mapped here
+        db = self.database.retain()
+        try:
+            if self.router is not None:
+                if node is not None or self.node is not None:
+                    warnings.warn(
+                        "simulated multi-GPU node ignored: this session routes "
+                        "candidate generation through the shard router",
+                        stacklevel=2,
+                    )
+                packed = (
+                    payload
+                    if isinstance(payload, PackedReads)
+                    else PackedReads.from_reads(payload, mate_seqs)
                 )
-            packed = (
-                payload
-                if isinstance(payload, PackedReads)
-                else PackedReads.from_reads(payload, mate_seqs)
+                result = self.router.query(packed, params=cp)
+            else:
+                query_params = db.params.replace(classification=cp)
+                result = query_database(
+                    db,
+                    payload,
+                    mates=mate_seqs,
+                    params=query_params,
+                    node=node if node is not None else self.node,
+                )
+            cls = classify_reads(db, result.candidates, cp)
+            records = records_from_classification(
+                db, headers, cls, result.read_lengths
             )
-            result = self.router.query(packed, params=cp)
-        else:
-            query_params = self.database.params.replace(classification=cp)
-            result = query_database(
-                self.database,
-                payload,
-                mates=mate_seqs,
-                params=query_params,
-                node=node if node is not None else self.node,
-            )
-        cls = classify_reads(self.database, result.candidates, cp)
-        records = records_from_classification(
-            self.database, headers, cls, result.read_lengths
-        )
+        finally:
+            db.release()
         report.n_reads = result.n_reads
         report.n_classified = cls.n_classified
         report.total_seconds = result.stages.total
@@ -305,10 +313,14 @@ class QuerySession:
             for i in range(0, n, per_chunk)
         )
         records: list[ReadClassification] = []
-        for chunk in engine.classify_chunks(chunks, params=cp):
-            recs, report = self._chunk_records(chunk)
-            records.extend(recs)
-            self._account(report)
+        db = self.database.retain()
+        try:
+            for chunk in engine.classify_chunks(chunks, params=cp):
+                recs, report = self._chunk_records(chunk, db)
+                records.extend(recs)
+                self._account(report)
+        finally:
+            db.release()
         return records
 
     # ------------------------------------------------------------ streaming
@@ -567,11 +579,14 @@ class QuerySession:
         return (headers, seqs, mate_seqs)
 
     def _chunk_records(
-        self, chunk: ChunkResult
+        self, chunk: ChunkResult, db: Database | None = None
     ) -> tuple[list[ReadClassification], RunReport]:
         """Resolve one engine chunk into typed records + its batch report."""
         records = records_from_classification(
-            self.database, chunk.headers, chunk.classification, chunk.read_lengths
+            db if db is not None else self.database,
+            chunk.headers,
+            chunk.classification,
+            chunk.read_lengths,
         )
         report = RunReport(
             n_batches=1,
@@ -662,6 +677,42 @@ class QuerySession:
             self._engine = None
 
     # ------------------------------------------------------------ lifecycle
+
+    def swap_database(self, new_db: Database) -> Database:
+        """Atomically repoint this session at ``new_db``; returns the old.
+
+        The hot-swap primitive: the session's worker pool (bound to
+        the old index's shared arrays/files) is shut down first, the
+        database reference is then replaced in one assignment, and the
+        *old* database is handed back to the caller -- who owns its
+        remaining lifetime and typically calls ``old.close()``, which
+        defers the actual unmap until batches pinned via
+        :meth:`Database.retain` have drained.  The caller must
+        serialize the swap against in-flight calls on *this thread's*
+        engine paths (the serving layer runs it on the micro-batcher's
+        dispatch thread, i.e. between micro-batches); concurrent
+        :meth:`classify` calls from other threads are safe through the
+        retain/release protocol.
+
+        Raises
+        ------
+        ReloadError
+            for routed (sharded) sessions: shard plans pin partition
+            ids to the directory they were computed over, so the
+            router cannot be repointed in place.
+        """
+        if self.router is not None:
+            raise ReloadError(
+                "sharded sessions cannot hot-swap their index: the shard "
+                "plan is pinned to the saved directory it was computed "
+                "over; restart the service on the new directory instead"
+            )
+        old = self.database
+        if new_db is old:
+            return old
+        self._close_engine()
+        self.database = new_db
+        return old
 
     def close(self) -> None:
         """Shut down the worker pool, if one was started (idempotent)."""

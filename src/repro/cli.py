@@ -19,7 +19,11 @@ Subcommands:
   one hot index (``--workers N`` fans batches over N processes;
   ``--shards N --replicas R`` serves through the shard router of
   :mod:`repro.shard` with automatic replica failover), with
-  ``/healthz`` and ``/stats`` for operations.
+  ``/healthz`` and ``/stats`` for operations.  ``POST /admin/reload``
+  hot-swaps the served index between micro-batches with zero dropped
+  requests; ``--watch DIR`` polls for new ``v<N>`` version
+  directories and swaps to the newest automatically (single-process
+  and ``--workers`` topologies only -- the shard plan is pinned).
 - ``info``    -- database summary (targets, windows, sizes).
 - ``merge``   -- combine per-partition candidate runs (Section 4.3).
 - ``convert`` -- rewrite a saved database between on-disk formats;
@@ -142,8 +146,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    db_dir = args.db
+    if args.watch is not None:
+        if args.shards is not None:
+            print(
+                "serve: --watch and --shards are mutually exclusive (the "
+                "shard plan cannot be hot-swapped; restart the sharded "
+                "service on new directories instead)",
+                file=sys.stderr,
+            )
+            return 2
+        if db_dir is None:
+            # no explicit --db: start from the newest published version
+            from repro.core.io import latest_version
+
+            db_dir = latest_version(args.watch)
+            if db_dir is None:
+                print(
+                    f"serve: --watch {args.watch} holds no complete v<N> "
+                    "database version yet (publish one, or pass --db)",
+                    file=sys.stderr,
+                )
+                return 2
+    elif db_dir is None:
+        print("serve: --db is required (unless --watch is given)",
+              file=sys.stderr)
+        return 2
     mc = MetaCache.open(
-        args.db,
+        db_dir,
         workers=args.workers,
         mmap=args.mmap,
         shards=args.shards,
@@ -156,12 +186,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             topology = f"shards={args.shards}, replicas={args.replicas}"
         else:
             topology = f"workers={args.workers}"
+        watching = (
+            f", watching {args.watch} every {args.watch_interval:g}s"
+            if args.watch is not None
+            else ""
+        )
         print(
             f"serving {mc.n_targets} targets on "
             f"http://{server.host}:{server.port} "
             f"({topology}, "
             f"max_batch_reads={args.max_batch_reads}, "
-            f"max_delay_ms={args.max_delay_ms:g}); Ctrl-C to drain and stop",
+            f"max_delay_ms={args.max_delay_ms:g}{watching}); "
+            "Ctrl-C to drain and stop",
             file=sys.stderr,
             flush=True,
         )
@@ -173,6 +209,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_reads=args.max_batch_reads,
             max_delay_ms=args.max_delay_ms,
             max_queued_reads=args.max_queued_reads,
+            watch=args.watch,
+            watch_interval=args.watch_interval,
             on_started=banner,
         )
     finally:
@@ -318,7 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser(
         "serve", help="serve classification over HTTP from a warm database"
     )
-    s.add_argument("--db", required=True, help="database directory")
+    s.add_argument("--db", default=None,
+                   help="database directory (with --watch, defaults to "
+                        "the newest complete v<N> version under the "
+                        "watched directory)")
     s.add_argument("--host", default="127.0.0.1", help="bind address")
     s.add_argument("--port", type=int, default=8765,
                    help="bind port (0 picks a free port)")
@@ -344,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-queued-reads", type=int, default=65536,
                    help="admission bound; beyond it requests get 503 + "
                         "Retry-After")
+    s.add_argument("--watch", default=None, metavar="DIR",
+                   help="poll DIR for new v<N> database versions and "
+                        "hot-swap to the newest between micro-batches "
+                        "(incompatible with --shards)")
+    s.add_argument("--watch-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="poll period for --watch (default 2.0)")
     s.set_defaults(func=_cmd_serve)
 
     i = sub.add_parser("info", help="print database summary")

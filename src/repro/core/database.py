@@ -23,6 +23,7 @@ Two storage layouts exist, as in the paper (Section 5.1):
 from __future__ import annotations
 
 import secrets
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -177,6 +178,13 @@ class Database:
         #: then share the index through the page cache instead of a
         #: shared-memory export (see :meth:`sharing_handle`).
         self.mmap_path = None
+        # explicit lifetime state (see retain/release/close): guards
+        # the hot-swap protocol where serving batches pin the old
+        # index until the last one drains
+        self._lifetime_lock = threading.Lock()
+        self._retains = 0
+        self._close_pending = False
+        self._closed = False
 
     # ------------------------------------------------------------------ build
 
@@ -262,6 +270,95 @@ class Database:
                 except KeyError:
                     pass
             p.device = None
+
+    # -------------------------------------------------------------- lifetime
+
+    @property
+    def closed(self) -> bool:
+        """True once the index content has been dropped/unmapped."""
+        return self._closed
+
+    def retain(self) -> "Database":
+        """Pin this database's index for the duration of one batch.
+
+        The hot-swap half of the lifetime contract: classification
+        paths bracket each batch with ``retain()`` / ``release()``, so
+        a concurrent :meth:`close` (issued right after a session swaps
+        to a new index) defers the actual unmap until the last
+        in-flight batch drains.  Raises ``RuntimeError`` when the
+        database is already closed or closing -- a retained reference
+        can never observe unmapped memory.
+        """
+        with self._lifetime_lock:
+            if self._closed or self._close_pending:
+                raise RuntimeError("cannot retain a closed database")
+            self._retains += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one :meth:`retain` pin; runs a deferred close at zero."""
+        run_close = False
+        with self._lifetime_lock:
+            if self._retains <= 0:
+                raise RuntimeError("release() without a matching retain()")
+            self._retains -= 1
+            if self._retains == 0 and self._close_pending and not self._closed:
+                self._closed = True
+                run_close = True
+        if run_close:
+            self._close_now()
+
+    def close(self) -> None:
+        """Release the index deterministically (idempotent).
+
+        Drops every partition's arrays and -- for databases opened
+        with ``mmap=True`` -- explicitly closes the underlying memory
+        maps, returning their file descriptors to the OS *now* rather
+        than at garbage collection (repeated open/close cycles must
+        not grow the process fd count).  If batches are still pinned
+        via :meth:`retain`, the unmap is deferred until the last
+        :meth:`release`; new :meth:`retain` calls are refused either
+        way.  Callers holding direct references into the index arrays
+        (outside the retain protocol) must not use them after close.
+        Metadata (params, taxonomy, targets) stays readable.
+        """
+        with self._lifetime_lock:
+            if self._closed:
+                return
+            self._close_pending = True
+            if self._retains > 0:
+                return
+            self._closed = True
+        self._close_now()
+
+    def _close_now(self) -> None:
+        """Drop index content and unmap mmap-backed arrays."""
+        self.release_devices()
+
+        def strip(p: DatabasePartition) -> "list[object]":
+            # collect the backing mmap objects while dropping every
+            # array reference, so no dangling view outlives the close
+            found: list[object] = []
+            if p.condensed is not None:
+                cond = p.condensed
+                for array in (
+                    cond.locations,
+                    getattr(cond.pointers, "_keys", None),
+                    getattr(cond.pointers, "_values", None),
+                ):
+                    mm = getattr(array, "_mmap", None)
+                    if mm is not None:
+                        found.append(mm)
+            p.condensed = None
+            p.table = None
+            return found
+
+        mmaps = {id(mm): mm for p in self.partitions for mm in strip(p)}
+        for mm in mmaps.values():
+            try:
+                mm.close()
+            except (BufferError, ValueError, OSError):  # pragma: no cover
+                pass
 
     def to_shared(self) -> "SharedDatabaseHandle":
         """Export this database into shared memory (see the handle docs)."""
@@ -700,12 +797,16 @@ class FileBackedDatabaseHandle:
         return self.attach()
 
     def close(self) -> None:
-        """Drop the attached database reference (idempotent).
+        """Close the attached database, if any (idempotent).
 
-        Live array views keep their mappings alive until garbage
-        collected, exactly like the shared-memory handle's close.
+        Unlike the shared-memory handle, the mapped files are this
+        process's own fds, so close releases them deterministically
+        via :meth:`Database.close` instead of waiting for garbage
+        collection.
         """
-        self._database = None
+        db, self._database = self._database, None
+        if db is not None:
+            db.close()
 
     def unlink(self) -> None:
         """No-op: the backing files belong to the database directory."""

@@ -25,6 +25,7 @@ __all__ = [
     "WorkerCrashError",
     "ShardFailedError",
     "SharedMemoryUnavailableError",
+    "ReloadError",
     "ServerError",
     "OverloadedError",
 ]
@@ -129,6 +130,18 @@ class SharedMemoryUnavailableError(MetaCacheError, RuntimeError):
     when creating a block fails (e.g. no ``/dev/shm`` mount or no
     permission).  Callers that can degrade — the query engine — catch
     it and fall back to single-process classification instead.
+    """
+
+
+class ReloadError(MetaCacheError, RuntimeError):
+    """A hot-swap reload cannot be performed on this handle.
+
+    Raised by :meth:`repro.api.MetaCache.reload` and
+    :meth:`repro.api.QuerySession.swap_database` when the handle is
+    sharded (``shards=N``): shard plans pin partition ids to the saved
+    directory they were computed over, so a new index cannot be
+    attached under a running router.  Restart the service on the new
+    directory instead.  The HTTP admin endpoint maps this onto a 409.
     """
 
 

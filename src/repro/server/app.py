@@ -16,9 +16,26 @@ Endpoints:
 - ``POST /classify`` -- reads as a FASTA/FASTQ body (plain or gzip)
   or JSON ``{"reads": [...]}``; per-read results in any registered
   sink format (``?format=tsv|jsonl|kraken``, TSV default);
+- ``POST /admin/reload`` -- hot-swap the served index with zero
+  downtime: ``{"directory": ...}`` swaps to an already-saved
+  database, ``{"refs": [...], "mapping": ..., "out": ...}``
+  background-builds an extension of the current index first
+  (``DatabaseBuilder.from_database`` + atomic v2 publish).  The swap
+  itself runs on the micro-batcher's dispatch thread, i.e. *between*
+  batches: in-flight work finishes on the old index (pinned via the
+  database retain/release protocol), every later batch sees the new
+  one, and the old index's mmap handles are closed when its last
+  batch drains.  Sharded sessions answer 409;
 - ``GET /healthz``   -- liveness + queue depth;
 - ``GET /stats``     -- reads served, latency p50/p99, batch-size
-  histogram, database and batching configuration.
+  histogram, database/batching configuration, and the reload block
+  (count, current directory, last swap seconds, watch state).
+
+``watch_dir`` (the ``serve --watch`` mode) polls a directory of
+``v<N>`` version directories and reloads whenever a newer complete
+version appears -- publish with
+:func:`repro.core.io.publish_database` and the swap happens within
+``watch_interval`` seconds, no request needed.
 
 Overload answers 503 with ``Retry-After`` (the admission queue is
 bounded); shutdown first stops accepting connections, then drains
@@ -31,6 +48,8 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import io
+import json
+import os
 import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -40,10 +59,12 @@ import numpy as np
 
 from repro.api.sinks import open_sink, sink_formats
 from repro.errors import (
+    DatabaseFormatError,
     InvalidReadError,
     MetaCacheError,
     OverloadedError,
     PipelineError,
+    ReloadError,
     ServerError,
 )
 from repro.genomics.alphabet import encode_sequence
@@ -115,6 +136,14 @@ class ClassificationServer:
         :class:`~repro.server.batcher.MicroBatcher`.
     max_body_bytes:
         request-body bound; larger uploads answer 413.
+    source_dir:
+        the directory the served database came from, when known --
+        seeds the ``/stats`` reload block and lets the watcher skip
+        the version already being served.
+    watch_dir / watch_interval:
+        when ``watch_dir`` is set, poll it every ``watch_interval``
+        seconds for new complete ``v<N>`` version directories and
+        hot-swap to the newest automatically (see module docs).
 
     Use :meth:`start` / :meth:`stop` on an event loop you own (the
     test and benchmark harness :class:`ServerThread` does this on a
@@ -131,11 +160,18 @@ class ClassificationServer:
         max_delay_ms: float = 2.0,
         max_queued_reads: int = 65536,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        source_dir: "str | os.PathLike | None" = None,
+        watch_dir: "str | os.PathLike | None" = None,
+        watch_interval: float = 2.0,
     ) -> None:
+        if watch_interval <= 0:
+            raise ServerError("watch_interval must be > 0")
         self.session = session
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
+        self.watch_dir = str(watch_dir) if watch_dir is not None else None
+        self.watch_interval = watch_interval
         self.stats = ServerStats()
         self.batcher = MicroBatcher(
             session,
@@ -149,19 +185,45 @@ class ClassificationServer:
         self._stopping = False
         self._started_at = 0.0
         self._parse_gate: asyncio.Semaphore | None = None
+        # hot-swap state: reloads are serialized by _reload_lock; the
+        # served directory starts at source_dir (or the mmap backing
+        # path) so the watcher can tell "newer version" from "current"
+        self.reloads = 0
+        self._reload_lock: asyncio.Lock | None = None
+        self._watch_task: asyncio.Task | None = None
+        self._last_swap_seconds: float | None = None
+        self._last_reload_error: str | None = None
+        if source_dir is not None:
+            self._current_dir: str | None = str(source_dir)
+        else:
+            # duck-typed: test stubs may not carry a database at all
+            mmap_path = getattr(
+                getattr(session, "database", None), "mmap_path", None
+            )
+            self._current_dir = (
+                str(mmap_path) if mmap_path is not None else None
+            )
 
     # ------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
-        """Bind the listening socket and start the batcher."""
+        """Bind the listening socket and start the batcher (+ watcher)."""
         self._stopping = False
         self._parse_gate = asyncio.Semaphore(_MAX_CONCURRENT_PARSES)
+        self._reload_lock = asyncio.Lock()
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self.watch_dir is not None:
+            if getattr(self.session, "router", None) is not None:
+                raise ReloadError(
+                    "watch mode is unavailable on a sharded session: the "
+                    "shard plan cannot be hot-swapped"
+                )
+            self._watch_task = asyncio.ensure_future(self._watch_loop())
 
     async def stop(self, *, drain: bool = True, grace_seconds: float = 10.0) -> None:
         """Graceful shutdown: stop accepting, then drain, then close.
@@ -174,6 +236,13 @@ class ClassificationServer:
         connections are closed immediately -- they hold no work.
         """
         self._stopping = True
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+            self._watch_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -283,9 +352,18 @@ class ClassificationServer:
             if request.path == "/classify":
                 self._require_method(request, "POST")
                 return await self._classify(request)
+            if request.path == "/admin/reload":
+                self._require_method(request, "POST")
+                return await self._admin_reload(request)
             raise HttpError(404, f"no such endpoint: {request.path}")
         except HttpError as exc:
             return self._error_response(exc)
+        except ReloadError as exc:
+            # the handle's topology conflicts with the request (sharded
+            # sessions cannot hot-swap): 409, not a client syntax error
+            return self._error_response(
+                HttpError(409, f"{type(exc).__name__}: {exc}")
+            )
         except OverloadedError as exc:
             return self._error_response(
                 HttpError(
@@ -398,12 +476,218 @@ class ClassificationServer:
             },
             "database": info,
             "requests": self.stats.snapshot(),
+            "reload": {
+                "count": self.reloads,
+                "directory": self._current_dir,
+                "last_swap_seconds": self._last_swap_seconds,
+                "watch": self.watch_dir,
+                "last_error": self._last_reload_error,
+            },
         }
         router = getattr(self.session, "router", None)
         if router is not None and not router.closed:
             router.maintain()
             payload["shards"] = router.stats()
         return HttpResponse.json(payload)
+
+    # --------------------------------------------------------------- reload
+
+    async def _admin_reload(self, request: HttpRequest) -> HttpResponse:
+        """Hot-swap the served index (``POST /admin/reload``).
+
+        Body (JSON): ``{"directory": path}`` to swap to an existing
+        database directory, or ``{"refs": [fasta, ...], "mapping":
+        {accession: taxid} | tsv-path, "out": dir}`` to first extend
+        the *current* index with those references in the background
+        (classification keeps running) and publish the result
+        crash-atomically, then swap to it.  With a ``--watch``
+        directory configured, ``out`` may be omitted -- the rebuild
+        publishes the next ``v<N>`` version there.  Reloads are
+        serialized; each response reports the swap latency and the
+        old/new target counts.
+        """
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "reload body must be a JSON object")
+        assert self._reload_lock is not None  # start() ran
+        async with self._reload_lock:
+            if "directory" in payload:
+                directory = payload["directory"]
+                if not isinstance(directory, str) or not directory:
+                    raise HttpError(400, '"directory" must be a path string')
+                result = await self._reload_from_directory(directory)
+            elif "refs" in payload:
+                result = await self._rebuild_and_reload(payload)
+            else:
+                raise HttpError(
+                    400,
+                    'reload body must carry "directory" (swap to a saved '
+                    'database) or "refs" (extend the current index first)',
+                )
+        return HttpResponse.json(result)
+
+    async def _reload_from_directory(self, directory: str) -> dict:
+        """Load ``directory`` and swap the serving session onto it.
+
+        The new database is opened on the default executor (mmap
+        matching the current index, so an mmap-served instance stays
+        mmap-served), the swap runs between micro-batches on the
+        batcher's dispatch thread, and the old database is closed --
+        its memory maps are released as soon as the last in-flight
+        batch drops its retain pin.  Zero requests fail across the
+        swap: there is no pause window, only a barrier.
+        """
+        session = self.session
+        if getattr(session, "router", None) is not None:
+            raise ReloadError(
+                "sharded sessions cannot hot-swap their index; restart "
+                "the service on the new directory instead"
+            )
+        use_mmap = session.database.mmap_path is not None
+        loop = asyncio.get_running_loop()
+
+        def _load():
+            from repro.core.io import load_database
+
+            try:
+                return load_database(directory, mmap=use_mmap)
+            except FileNotFoundError as exc:
+                raise DatabaseFormatError(
+                    f"no database at {directory} ({exc})"
+                ) from exc
+            except json.JSONDecodeError as exc:
+                raise DatabaseFormatError(
+                    f"{directory}: corrupt metadata ({exc})"
+                ) from exc
+
+        new_db = await loop.run_in_executor(None, _load)
+        swap_started = time.monotonic()
+        try:
+            old = await self.batcher.run_between_batches(
+                lambda: session.swap_database(new_db)
+            )
+        except BaseException:
+            new_db.close()
+            raise
+        swap_seconds = time.monotonic() - swap_started
+        old_targets = old.n_targets
+        if old is not new_db:
+            old.close()
+        self.reloads += 1
+        self._last_swap_seconds = swap_seconds
+        self._last_reload_error = None
+        self._current_dir = directory
+        return {
+            "reloaded": directory,
+            "swap_seconds": round(swap_seconds, 6),
+            "targets": {"old": old_targets, "new": new_db.n_targets},
+            "reload_count": self.reloads,
+        }
+
+    async def _rebuild_and_reload(self, payload: dict) -> dict:
+        """Extend the served index from FASTAs, publish, then swap."""
+        refs = payload.get("refs")
+        mapping = payload.get("mapping")
+        out = payload.get("out")
+        if (
+            not isinstance(refs, list)
+            or not refs
+            or not all(isinstance(r, str) for r in refs)
+        ):
+            raise HttpError(
+                400, '"refs" must be a non-empty list of FASTA paths'
+            )
+        if isinstance(mapping, dict):
+            try:
+                mapping = {str(k): int(v) for k, v in mapping.items()}
+            except (TypeError, ValueError):
+                raise HttpError(
+                    400, '"mapping" values must be integer taxon ids'
+                ) from None
+        elif not isinstance(mapping, str) or not mapping:
+            raise HttpError(
+                400,
+                '"mapping" must be an {accession: taxid} object or the '
+                "path of an accession2taxid TSV",
+            )
+        if out is not None and (not isinstance(out, str) or not out):
+            raise HttpError(400, '"out" must be a path string')
+        if out is None and self.watch_dir is None:
+            raise HttpError(
+                400,
+                '"out" is required unless the server watches a version '
+                "directory (serve --watch), which then receives the next "
+                "v<N>",
+            )
+        session = self.session
+        if getattr(session, "router", None) is not None:
+            raise ReloadError(
+                "sharded sessions cannot hot-swap their index; restart "
+                "the service on the new directory instead"
+            )
+        watch_dir = self.watch_dir
+
+        def _build() -> str:
+            from repro.api.facade import load_accession_mapping
+            from repro.core.builder import DatabaseBuilder
+            from repro.core.io import publish_database, save_database
+
+            accession_map = (
+                load_accession_mapping(mapping)
+                if isinstance(mapping, str)
+                else mapping
+            )
+            # pin the served index while the builder reads its content;
+            # classification continues concurrently -- both only read
+            source = session.database.retain()
+            try:
+                with DatabaseBuilder.from_database(source) as builder:
+                    builder.add_fasta(list(refs), dict(accession_map))
+                    extended = builder.finalize(condense=True)
+            finally:
+                source.release()
+            if out is None:
+                return str(publish_database(extended, watch_dir, format=2))
+            save_database(extended, out, format=2)
+            return out
+
+        loop = asyncio.get_running_loop()
+        destination = await loop.run_in_executor(None, _build)
+        result = await self._reload_from_directory(destination)
+        result["built"] = destination
+        return result
+
+    async def _watch_loop(self) -> None:
+        """Poll the watch directory; swap to any newer complete version.
+
+        Failures (a corrupt version, a transient fs error) are
+        remembered in the ``/stats`` reload block and retried on the
+        next tick -- a bad publish must not kill the watcher or the
+        server.
+        """
+        from repro.core.io import latest_version
+
+        while not self._stopping:
+            await asyncio.sleep(self.watch_interval)
+            if self._stopping:
+                return
+            try:
+                latest = latest_version(self.watch_dir)
+            except OSError as exc:  # pragma: no cover - fs races
+                self._last_reload_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if latest is None or str(latest) == self._current_dir:
+                continue
+            assert self._reload_lock is not None
+            try:
+                async with self._reload_lock:
+                    if str(latest) == self._current_dir:
+                        continue  # an admin reload won the race
+                    await self._reload_from_directory(str(latest))
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - keep watching
+                self._last_reload_error = f"{type(exc).__name__}: {exc}"
 
     async def _classify(self, request: HttpRequest) -> HttpResponse:
         """Parse reads out of the body, batch-classify, render the sink.

@@ -234,6 +234,25 @@ class MicroBatcher:
         """Reads admitted but not yet placed into a dispatched batch."""
         return self._queued_reads
 
+    async def run_between_batches(self, fn):
+        """Run ``fn()`` on the dispatch thread, between micro-batches.
+
+        The hot-swap barrier: classification batches run strictly in
+        order on the batcher's single dedicated executor thread, so a
+        callable queued onto that same executor (a) waits for the
+        in-flight batch to drain and (b) blocks the next batch until
+        it returns -- with no pause flag, no lock on the hot path, and
+        no failed requests.  The reload endpoint runs the session's
+        ``swap_database`` exactly here.  Returns ``fn()``'s result;
+        raises :class:`~repro.errors.ServerError` when the batcher is
+        not running.
+        """
+        if self._closing or self._runner is None or self._executor is None:
+            raise ServerError("server is shutting down")
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn
+        )
+
     @property
     def crashed(self) -> bool:
         """True once the dispatcher died on an unexpected exception.

@@ -50,6 +50,7 @@ kill via :func:`~repro.parallel.engine.reap_processes`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import threading
 import time
@@ -61,7 +62,7 @@ from repro.core.config import ClassificationParams
 from repro.core.database import FileBackedDatabaseHandle
 from repro.core.merge import merge_partition_runs
 from repro.core.query import QueryResult
-from repro.errors import PipelineError, WorkerCrashError
+from repro.errors import PipelineError, ReloadError, WorkerCrashError
 from repro.parallel.engine import reap_processes
 from repro.pipeline.packed import PackedReads
 from repro.shard.messages import ShardResult, ShardTask
@@ -431,6 +432,29 @@ class ShardRouter:
             "degraded": self.degraded,
             "per_shard": self.health(),
         }
+
+    def reload(self, directory: "str | os.PathLike") -> None:
+        """Refuse hot-swap reloads, with the typed error (documented).
+
+        The chosen sharded-reload semantics: a router's
+        :class:`~repro.shard.plan.ShardPlan` assigns *partition ids*
+        of the saved directory it was computed over, and every
+        replica process is pinned to its shard's partitions of that
+        directory -- a new directory may have a different partition
+        count or balance, so rolling replicas onto it
+        generation-by-generation could not keep the plan coherent
+        mid-roll.  Sharded services therefore restart on the new
+        directory (a load balancer over two instances gives the same
+        zero-downtime effect one level up); every reload surface --
+        this method, :meth:`repro.api.MetaCache.reload`, and ``POST
+        /admin/reload`` (HTTP 409) -- raises
+        :class:`~repro.errors.ReloadError` for sharded handles.
+        """
+        raise ReloadError(
+            f"sharded router cannot hot-swap to {directory!s}: the shard "
+            "plan is pinned to the saved directory it was computed over; "
+            "restart the service on the new directory instead"
+        )
 
     # --------------------------------------------------------------- teardown
 

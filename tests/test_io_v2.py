@@ -243,6 +243,70 @@ class TestConvert:
             MetaCache.convert(tmp_path / "absent", tmp_path / "out")
 
 
+class TestMmapOverwriteGuard:
+    """Pin the resolve-both-sides spelling of the overwrite guard.
+
+    ``save_database`` refuses to write into the directory backing a
+    mmap-backed database because the save would rewrite the very files
+    the live index arrays are mapped over.  Both sides of the
+    comparison are ``resolve()``d, so aliased spellings of the same
+    directory (symlinks, relative paths) must be refused too -- and a
+    *fresh* directory must keep working, byte-identically, as the
+    sanctioned way to copy a mmap-backed database.
+    """
+
+    def test_symlinked_spelling_refused(self, world, tmp_path):
+        _, v2, _, _ = world
+        db = load_database(v2, mmap=True)
+        try:
+            alias = tmp_path / "alias"
+            alias.symlink_to(v2, target_is_directory=True)
+            with pytest.raises(DatabaseFormatError, match="memory-mapped"):
+                save_database(db, alias, format=2)
+        finally:
+            db.close()
+
+    def test_relative_spelling_refused(self, world, monkeypatch):
+        _, v2, _, _ = world
+        db = load_database(v2, mmap=True)
+        try:
+            monkeypatch.chdir(v2.parent)
+            with pytest.raises(DatabaseFormatError, match="memory-mapped"):
+                save_database(db, Path(v2.name), format=2)
+        finally:
+            db.close()
+
+    def test_fresh_dir_save_byte_identical_then_hot_swap(
+        self, world, tmp_path
+    ):
+        _, v2, _, read_file = world
+        db = load_database(v2, mmap=True)
+        fresh = tmp_path / "fresh"
+        try:
+            save_database(db, fresh, format=2)
+        finally:
+            db.close()
+        assert sorted(p.name for p in fresh.iterdir()) == sorted(
+            p.name for p in v2.iterdir()
+        )
+        for path in sorted(fresh.iterdir()):
+            assert path.read_bytes() == (v2 / path.name).read_bytes(), (
+                path.name
+            )
+        # ...and a live handle can hot-swap onto the copy mid-session
+        # and keep answering identically
+        before, after = tmp_path / "before.tsv", tmp_path / "after.tsv"
+        with MetaCache.open(v2, mmap=True) as mc:
+            with mc.session() as session:
+                with TsvSink(before) as sink:
+                    session.classify_files(read_file, sink=sink)
+                mc.reload(fresh)
+                assert mc.database.mmap_path == fresh
+                with TsvSink(after) as sink:
+                    session.classify_files(read_file, sink=sink)
+        assert before.read_bytes() == after.read_bytes()
+
+
 class TestCorruption:
     def _copy_v2(self, v2, tmp_path):
         import shutil

@@ -420,6 +420,60 @@ def test_rl006_silent_on_with_finally_and_escape(tmp_path):
     assert findings == []
 
 
+def test_rl006_fires_on_leaked_mmap_database(tmp_path):
+    findings = run_rule(
+        "RL006",
+        tmp_path,
+        "src/repro/core/loader.py",
+        '''
+        """Database loading."""
+        from repro.core.io import load_database
+
+        def count_targets(path):
+            """mmap-backed Database dropped without close(): leak."""
+            db = load_database(path, mmap=True)
+            return db.n_targets
+        ''',
+    )
+    assert len(findings) == 1
+    assert findings[0].symbol == "count_targets"
+
+
+def test_rl006_silent_on_closed_or_escaping_mmap_database(tmp_path):
+    findings = run_rule(
+        "RL006",
+        tmp_path,
+        "src/repro/core/loader.py",
+        '''
+        """Database loading."""
+        from repro.core.io import load_database
+
+        def count_targets(path):
+            """Database.close() in a finally pairs the lifetime."""
+            db = load_database(path, mmap=True)
+            try:
+                return db.n_targets
+            finally:
+                db.close()
+
+        def open_db(path, use_mmap):
+            """Returned handle: the caller owns the lifetime."""
+            return load_database(path, mmap=use_mmap)
+
+        def rebuild_only(path):
+            """mmap=False owns no mappings: nothing to release."""
+            db = load_database(path, mmap=False)
+            return db.n_targets
+
+        def deferred(path):
+            """A lambda's body escapes to whoever calls the lambda."""
+            loader = lambda: load_database(path, mmap=True)
+            return loader
+        ''',
+    )
+    assert findings == []
+
+
 # ------------------------------------------------------------- suppressions
 
 

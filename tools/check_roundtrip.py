@@ -3,7 +3,7 @@
 
 Builds a small database, saves it in format v1, upgrades it to format
 v2 with :func:`repro.core.io.convert_database`, then classifies one
-simulated read file through the public API under six configurations:
+simulated read file through the public API under eight configurations:
 
 - v1 directory (the rebuild load path);
 - v2 directory, eager load;
@@ -15,7 +15,11 @@ simulated read file through the public API under six configurations:
 - v2 directory produced by the *extend* path: a database built from
   the first half of the references, saved, reopened, grown with
   ``MetaCache.extend`` (the ``metacache-repro add`` path) and
-  re-saved -- gating that add-targets round-trips end to end.
+  re-saved -- gating that add-targets round-trips end to end;
+- one session classifying *through a hot-swap reload*: v2 + mmap,
+  classify, ``MetaCache.reload`` onto the extended directory (the
+  zero-downtime swap path), classify again with the same session --
+  both legs must match, gating that a swap never perturbs answers.
 
 All TSV outputs must match byte for byte, and the extended v2
 directory must be **file-for-file byte-identical** to the one-shot v2
@@ -47,6 +51,21 @@ def _classify(db_dir: Path, read_file: Path, out: Path, **open_kwargs) -> bytes:
         with mc.session() as session, TsvSink(out) as sink:
             session.classify_files(read_file, sink=sink)
     return out.read_bytes()
+
+
+def _classify_through_reload(
+    v2_dir: Path, ext_dir: Path, read_file: Path, tmp: Path
+) -> tuple[bytes, bytes]:
+    """One session's TSVs from before and after a hot-swap reload."""
+    before, after = tmp / "pre-reload.tsv", tmp / "post-reload.tsv"
+    with MetaCache.open(v2_dir, mmap=True) as mc:
+        with mc.session() as session:
+            with TsvSink(before) as sink:
+                session.classify_files(read_file, sink=sink)
+            mc.reload(ext_dir)  # the zero-downtime swap path
+            with TsvSink(after) as sink:
+                session.classify_files(read_file, sink=sink)
+    return before.read_bytes(), after.read_bytes()
 
 
 def main() -> int:
@@ -113,6 +132,10 @@ def main() -> int:
             name: _classify(db_dir, read_file, tmp / f"{name}.tsv", **kwargs)
             for name, (db_dir, kwargs) in configs.items()
         }
+        (
+            outputs["v2-pre-reload"],
+            outputs["v2-post-reload"],
+        ) = _classify_through_reload(v2_dir, ext_dir, read_file, tmp)
 
     reference_name, reference = next(iter(outputs.items()))
     if not reference.strip():

@@ -4,8 +4,10 @@ A leaked ``SharedMemory`` segment outlives the process (PR 4's
 resource-tracker fights came from exactly this); a leaked mmap keeps
 the database file pinned.  This rule checks every function that
 *acquires* such a handle -- ``SharedMemory(...)``, ``mmap.mmap(...)``,
-``np.memmap(...)``, ``np.load(..., mmap_mode=...)`` -- and requires
-one of:
+``np.memmap(...)``, ``np.load(..., mmap_mode=...)``, and
+``load_database(..., mmap=...)`` (a mmap-backed ``Database`` owns one
+mapping per partition array and exposes the paired ``close()``) --
+and requires one of:
 
 * the acquisition is the context expression of a ``with`` statement;
 * the handle *escapes* the function (returned/yielded, stored on
@@ -43,6 +45,15 @@ def _is_acquisition(call: ast.Call) -> bool:
             kw.arg == "mmap_mode"
             and isinstance(kw.value, ast.Constant)
             and kw.value.value is None
+            for kw in call.keywords
+        )
+    if tail == "load_database" and any(kw.arg == "mmap" for kw in call.keywords):
+        # Database.close() is the paired release for the per-partition
+        # mappings; mmap=False/None loads own no handles
+        return not any(
+            kw.arg == "mmap"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value in (False, None)
             for kw in call.keywords
         )
     return False
@@ -113,6 +124,13 @@ class _FunctionFacts:
                 for sub in ast.iter_child_nodes(node):
                     if isinstance(sub, ast.Name):
                         self.escaped_names.add(sub.id)
+            elif isinstance(node, ast.Lambda):
+                # a lambda's body IS its return value: the handle
+                # escapes to whoever calls the lambda
+                if isinstance(node.body, ast.Call):
+                    self.escaped_calls.add(id(node.body))
+                elif isinstance(node.body, ast.Name):
+                    self.escaped_names.add(node.body.id)
 
     @staticmethod
     def _release_target(
